@@ -1,0 +1,56 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``benchmarks/test_bench_*.py`` module regenerates one figure of the
+paper's evaluation: it runs the corresponding experiment (timed under
+pytest-benchmark), prints the same series the paper plots, and asserts
+the qualitative *shapes* the paper reports (who wins, by roughly what
+factor, where the crossovers and saturation points fall).  Absolute
+numbers are not asserted against the paper -- the substrate is a
+simulator, not the authors' TILE-Gx -- but every shape claim from
+Section 5 is.
+
+Set ``REPRO_BENCH_FULL=1`` to run with the larger measurement windows
+and denser sweeps used to produce EXPERIMENTS.md (minutes instead of
+seconds).
+"""
+
+import os
+
+import pytest
+
+#: full-fidelity mode toggle
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not FULL
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once under pytest-benchmark.
+
+    Simulation runs are deterministic and expensive, so statistical
+    repetition only wastes time; one round gives the exact same figure
+    data every run.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def series_ys(fig, label, metric):
+    s = fig.series[label]
+    return s.ys(metric)
+
+
+def tput(r):
+    return r.throughput_mops
+
+
+def print_figure(fig, metric=tput):
+    from repro.analysis.render import ascii_chart, markdown_table
+
+    print()
+    print(ascii_chart(fig, metric))
+    print(markdown_table(fig, metric))
+    for n in fig.notes:
+        print(f"note: {n}")

@@ -1,0 +1,188 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+* classic spin locks vs the delegation approaches -- the Section 3
+  background: moving the data to the lock holder (locks) loses to
+  moving the operation to the data (server/combiner) once contention is
+  real.
+* HYBCOMB's CAS registration vs the paper's suggested SWAP fallback
+  ("a middle ground would be to use SWAP only if CAS fails several
+  times") -- the fallback must not cost throughput at high concurrency.
+* the elimination front-end (Section 5.4's orthogonal technique) on top
+  of the coarse-lock stack under symmetric load.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    CCSynch,
+    FlatCombining,
+    HybComb,
+    MCSLock,
+    OpTable,
+    TTASLock,
+    TicketLock,
+)
+from repro.machine import Machine, tile_gx
+from repro.objects import EMPTY, EliminationStack, LockedCounter, LockedStack, TreiberStack
+from repro.workload import WorkloadSpec, run_counter_benchmark, run_workload
+from repro.workload.scenarios import build_approach
+
+
+def _spec(quick):
+    return WorkloadSpec.quick() if quick else WorkloadSpec.full()
+
+
+def run_lock_counter(lock_cls, num_threads, spec):
+    """A counter protected by a classic lock, CS on the calling thread."""
+    machine = Machine(tile_gx())
+    lock = lock_cls(machine)
+    table = OpTable()
+    addr = machine.mem.alloc(1, isolated=True)
+
+    def body(ctx, arg):
+        v = yield from ctx.load(addr)
+        yield from ctx.store(addr, v + 1)
+        return v
+
+    opcode = table.register(body)
+    ctxs = [machine.thread(t) for t in range(num_threads)]
+
+    def make_op(ctx):
+        def op(k):
+            yield from lock.execute(ctx, table, opcode, 0)
+        return op
+
+    return run_workload(machine, ctxs, make_op, spec, name=lock_cls.name)
+
+
+def test_locks_vs_delegation(benchmark, quick):
+    """Delegation (even over pure shared memory) beats every classic
+    lock under contention, because the CS data stays put."""
+    spec = _spec(quick)
+    T = 16
+
+    def run():
+        rows = {}
+        for lock_cls in (TTASLock, TicketLock, MCSLock):
+            rows[lock_cls.name] = run_lock_counter(lock_cls, T, spec)
+        for approach in ("mp-server", "shm-server"):
+            rows[approach] = run_counter_benchmark(approach, T, spec=spec)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    for name, r in rows.items():
+        print(f"  {name:>11s}: {r.throughput_mops:6.1f} Mops/s")
+    best_lock = max(rows[n].throughput_mops for n in ("ttas", "ticket", "mcs"))
+    assert rows["shm-server"].throughput_mops > best_lock
+    assert rows["mp-server"].throughput_mops > 2 * best_lock
+
+
+def test_combining_lineage(benchmark, quick):
+    """Oyama -> flat combining -> CC-SYNCH -> HYBCOMB: each generation
+    of the combining idea must beat its predecessor on this machine
+    (we implement the last three; the counter at 16 threads is the
+    classic comparison workload)."""
+    spec = _spec(quick)
+    T = 20
+
+    def run():
+        rows = {}
+        for label, prim_cls in (("flat-combining", FlatCombining),
+                                ("CC-Synch", CCSynch),
+                                ("HybComb", HybComb)):
+            machine = Machine(tile_gx())
+            table = OpTable()
+            prim = prim_cls(machine, table)
+            counter = LockedCounter(prim)
+            prim.start()
+            ctxs = [machine.thread(t) for t in range(T)]
+
+            def make_op(ctx):
+                def op(k):
+                    yield from counter.increment(ctx)
+                return op
+
+            rows[label] = run_workload(machine, ctxs, make_op, spec,
+                                       name=label, prim=prim)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    for name, r in rows.items():
+        print(f"  {name:>15s}: {r.throughput_mops:6.1f} Mops/s")
+    assert rows["CC-Synch"].throughput_mops > rows["flat-combining"].throughput_mops
+    assert rows["HybComb"].throughput_mops > rows["CC-Synch"].throughput_mops
+
+
+def test_hybcomb_swap_fallback_ablation(benchmark, quick):
+    """The SWAP fallback must match plain CAS registration at high
+    concurrency (where CAS is rare anyway) and must not break the
+    combining snowball."""
+    spec = _spec(quick)
+
+    def run():
+        results = {}
+        for label, kw in (("cas-only", {}),
+                          ("swap-after-2", dict(swap_after_cas_failures=2))):
+            machine = Machine(tile_gx())
+            table = OpTable()
+            prim = HybComb(machine, table, max_ops=200, **kw)
+            counter = LockedCounter(prim)
+            prim.start()
+            ctxs = [machine.thread(t) for t in range(28)]
+
+            def make_op(ctx):
+                def op(k):
+                    yield from counter.increment(ctx)
+                return op
+
+            results[label] = (run_workload(machine, ctxs, make_op, spec,
+                                           name=label, prim=prim), prim)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for label, (r, prim) in results.items():
+        extra = f" swap-regs={prim.swap_registrations}" if prim.swap_registrations else ""
+        print(f"  {label:>13s}: {r.throughput_mops:6.1f} Mops/s "
+              f"comb={r.combining_rate or 0:.0f}{extra}")
+    cas = results["cas-only"][0].throughput_mops
+    swap = results["swap-after-2"][0].throughput_mops
+    assert swap >= 0.7 * cas, "SWAP fallback costs too much throughput"
+
+
+def test_elimination_stack_ablation(benchmark, quick):
+    """Symmetric push/pop load: the elimination front-end absorbs part
+    of the traffic and must not lose elements."""
+    spec = _spec(quick)
+
+    def run():
+        machine = Machine(tile_gx())
+        table = OpTable()
+        prim, tids = build_approach("mp-server", machine, table, 20)
+        backing = LockedStack(prim)
+        stack = EliminationStack(machine, backing, num_slots=2, window_cycles=300)
+        prim.start()
+        ctxs = [machine.thread(t) for t in tids]
+
+        def make_op(ctx):
+            state = {"k": 0}
+
+            def op(k):
+                if state["k"] % 2 == 0:
+                    yield from stack.push(ctx, (ctx.tid << 12) | (state["k"] & 0xFFF))
+                else:
+                    yield from stack.pop(ctx)
+                state["k"] += 1
+            return op
+
+        r = run_workload(machine, ctxs, make_op, spec, name="elim", prim=prim)
+        return r, stack
+
+    r, stack = run_once(benchmark, run)
+    print(f"\n  elimination rate: {stack.elimination_rate:.1%}  "
+          f"throughput: {r.throughput_mops:.1f} Mops/s")
+    assert stack.eliminated > 0
+    assert r.throughput_mops > 0

@@ -1,0 +1,87 @@
+"""Benchmark harness for the discussion experiments (Sections 5.5 / 6)
+and the simulator's own NoC ablation.
+
+Shape claims asserted:
+
+* Section 5.5 -- on the x86-like profile, the servicing thread of the
+  pure-shared-memory approaches shows *more* stall cycles per op than on
+  the TILE-Gx profile ("we measured the number of stalls per operation
+  ... and got proportionally larger numbers"), so the potential gain
+  from hardware message passing would be even higher there.
+* Section 6 -- oversubscription through the 4-way demultiplexed queues
+  works (4 threads/core keep full server throughput), and tiny hardware
+  buffers cause backpressure without deadlock or message loss.
+* NoC ablation -- analytic and contended-link mesh models agree, so the
+  default analytic model is justified.
+"""
+
+from benchmarks.conftest import print_figure, run_once, tput
+from repro.experiments.discussion import (
+    run_backpressure,
+    run_noc_ablation,
+    run_oversubscription,
+    run_x86_comparison,
+)
+from repro.workload import WorkloadSpec, run_counter_benchmark
+from repro.machine import tile_gx, x86_like
+
+
+def test_x86_throughput_comparison(benchmark, quick):
+    fig = run_once(benchmark, run_x86_comparison, quick=quick)
+    print_figure(fig)
+    # both shared-memory approaches run on both profiles at all levels
+    for label in ("shm-server (x86)", "shm-server (tile-gx)",
+                  "CC-Synch (x86)", "CC-Synch (tile-gx)"):
+        assert fig.series[label].points
+
+
+def test_x86_has_more_stalls_per_op(benchmark, quick):
+    """The core 5.5 claim, measured directly on the servicing thread."""
+    spec = WorkloadSpec.quick() if quick else WorkloadSpec.full()
+
+    def measure():
+        r_tile = run_counter_benchmark("shm-server", 10, spec=spec, cfg=tile_gx())
+        r_x86 = run_counter_benchmark("shm-server", 10, spec=spec, cfg=x86_like())
+        return r_tile, r_x86
+
+    r_tile, r_x86 = run_once(benchmark, measure)
+    print(f"\n  stalls/op: tile-gx={r_tile.service_stall_per_op:.1f} "
+          f"x86={r_x86.service_stall_per_op:.1f}")
+    assert r_x86.service_stall_per_op > r_tile.service_stall_per_op
+
+
+def test_oversubscription(benchmark, quick):
+    fig = run_once(benchmark, run_oversubscription, quick=quick)
+    print_figure(fig)
+    s = fig.series["mp-server"]
+    one = s.y_at(1, tput)
+    four = s.y_at(4, tput)
+    assert four > 0
+    # with more client threads per core the (saturated) server keeps
+    # serving at full speed -- throughput must not collapse
+    assert four >= 0.8 * one
+
+
+def test_backpressure_with_tiny_buffers(benchmark, quick):
+    fig = run_once(benchmark, run_backpressure, quick=quick)
+    print_figure(fig)
+    s = fig.series["mp-server (12-word buffers)"]
+    for x, r in s.points:
+        assert r.throughput_mops > 0, f"no progress with {x} clients"
+    # with many clients the 12-word buffer must have caused backpressure
+    (_x, r_most) = s.points[-1]
+    assert r_most.extra["backpressure_cycles"] > 0
+    # and throughput still reaches the usual server saturation range
+    assert r_most.throughput_mops >= 50
+
+
+def test_noc_model_ablation(benchmark, quick):
+    fig = run_once(benchmark, run_noc_ablation, quick=quick)
+    print_figure(fig)
+    ana = fig.series["analytic"]
+    con = fig.series["contended links"]
+    for x in ana.xs():
+        a, c = ana.y_at(x, tput), con.y_at(x, tput)
+        assert abs(a - c) / a < 0.1, (
+            f"NoC contention changes results at T={x}: {a:.1f} vs {c:.1f}"
+        )

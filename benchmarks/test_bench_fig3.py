@@ -1,0 +1,93 @@
+"""Benchmark harness for Figure 3 (counter throughput / latency / MAX_OPS).
+
+Regenerates the three panels and asserts the paper's shape claims:
+
+* 3a -- MP-SERVER is fastest at every concurrency level; it beats
+  SHM-SERVER by a large factor (paper: up to 4.3x); HYBCOMB beats
+  CC-SYNCH, especially at high concurrency (paper: ~2.5x); CC-SYNCH and
+  SHM-SERVER are close to each other.
+* 3b -- MP-SERVER has by far the lowest latency; the combiners' latency
+  dips when intensive combining kicks in.
+* 3c -- HYBCOMB's throughput keeps growing with MAX_OPS (approaching
+  MP-SERVER), while CC-SYNCH saturates at low MAX_OPS.
+"""
+
+from benchmarks.conftest import print_figure, run_once, tput
+from repro.experiments.fig3 import run_fig3a_3b, run_fig3c
+
+
+def test_fig3a_counter_throughput(benchmark, quick):
+    fig_a, _ = run_once(benchmark, run_fig3a_3b, quick=quick)
+    print_figure(fig_a)
+
+    high_t = max(x for x, _ in fig_a.series["mp-server"].points)
+    mp = fig_a.series["mp-server"]
+    shm = fig_a.series["shm-server"]
+    hyb = fig_a.series["HybComb"]
+    cc = fig_a.series["CC-Synch"]
+
+    # MP-SERVER is the fastest approach at every measured level
+    for x, r in mp.points:
+        for other in (shm, hyb, cc):
+            y = other.y_at(x, tput)
+            if y is not None:
+                assert r.throughput_mops >= y * 0.95, (
+                    f"mp-server not fastest at T={x}"
+                )
+    # message passing vs its shared-memory emulation: a large factor
+    ratio = mp.y_at(high_t, tput) / shm.y_at(high_t, tput)
+    assert 2.5 <= ratio <= 6.0, f"mp/shm ratio {ratio:.1f} out of band (paper: 4.3)"
+    # HYBCOMB >> CC-SYNCH at high concurrency (paper: ~2.5x)
+    ratio = hyb.y_at(high_t, tput) / cc.y_at(high_t, tput)
+    assert 1.8 <= ratio <= 4.5, f"HybComb/CC ratio {ratio:.1f} out of band (paper: 2.5)"
+    # CC-SYNCH and SHM-SERVER perform similarly (within ~40%)
+    at = [x for x in cc.xs() if x >= 10 and shm.y_at(x, tput) is not None]
+    for x in at:
+        a, b = cc.y_at(x, tput), shm.y_at(x, tput)
+        assert 0.6 <= a / b <= 1.4, f"CC vs shm diverge at T={x}: {a:.1f} vs {b:.1f}"
+    # peak throughput in the paper's ballpark (~105 Mops/s at 1.2 GHz)
+    assert 70 <= mp.peak(tput) <= 140
+
+
+def test_fig3b_counter_latency(benchmark, quick):
+    _, fig_b = run_once(benchmark, run_fig3a_3b, quick=quick)
+    lat = lambda r: r.mean_latency_cycles
+    print_figure(fig_b, lat)
+
+    mp = fig_b.series["mp-server"]
+    hyb = fig_b.series["HybComb"]
+    shm = fig_b.series["shm-server"]
+    cc = fig_b.series["CC-Synch"]
+    # MP-SERVER has by far the lowest latency at every multi-thread level
+    for x in mp.xs():
+        if x < 2:
+            continue
+        for other in (shm, cc):
+            y = other.y_at(x, lat)
+            if y is not None:
+                assert mp.y_at(x, lat) < y
+    # single-thread exception: CC-SYNCH beats HYBCOMB (one atomic vs three)
+    assert cc.y_at(1, lat) < hyb.y_at(1, lat)
+    # the combiners' latency dips when intensive combining kicks in
+    hyb_ys = dict(zip(hyb.xs(), hyb.ys(lat)))
+    ramp = [x for x in hyb_ys if 12 <= x <= 30]
+    pre = [x for x in hyb_ys if 5 <= x < 15]
+    assert min(hyb_ys[x] for x in ramp) < max(hyb_ys[x] for x in pre), (
+        "no latency dip when combining kicks in"
+    )
+
+
+def test_fig3c_max_ops_sweep(benchmark, quick):
+    fig = run_once(benchmark, run_fig3c, quick=quick)
+    print_figure(fig)
+
+    hyb = fig.series["HybComb"]
+    cc = fig.series["CC-Synch"]
+    big = max(hyb.xs())
+    mid = 20 if 20 in hyb.xs() else sorted(hyb.xs())[len(hyb.xs()) // 2]
+    # HYBCOMB keeps growing with MAX_OPS...
+    assert hyb.y_at(big, tput) >= 1.8 * hyb.y_at(mid, tput)
+    # ...levelling off near the paper's ~88 Mops/s
+    assert 65 <= hyb.y_at(big, tput) <= 115
+    # CC-SYNCH gains little beyond a small MAX_OPS
+    assert cc.y_at(big, tput) <= 1.35 * cc.y_at(mid, tput)

@@ -1,0 +1,91 @@
+"""Benchmark harness for Figure 4 (stalls, combining rate, CS length).
+
+Shape claims asserted:
+
+* 4a -- the servicing thread is "virtually never stalled" with
+  MP-SERVER and HYBCOMB, whereas "CPU stalls account for more than 50%
+  of the cycles of the servicing thread in CC-SYNCH and SHM-SERVER".
+* 4b -- the combining rate grows roughly like T-1 at low concurrency,
+  then rises sharply (the circular effect); at high concurrency
+  CC-SYNCH reaches MAX_OPS and HYBCOMB sits slightly below it.
+* 4c -- with MP-SERVER/HYBCOMB the synchronization overhead is a small
+  constant; the SHM approaches start ~30 cycles above MP-SERVER and the
+  worst-vs-best gap shrinks to ~10% at 15 loop iterations.
+"""
+
+from benchmarks.conftest import print_figure, run_once, tput
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
+
+
+def test_fig4a_cpu_stalls(benchmark, quick):
+    fig = run_once(benchmark, run_fig4a, quick=quick)
+    rows = {}
+    print()
+    for label, s in fig.series.items():
+        (_x, r), = s.points
+        rows[label] = (r.service_stall_per_op, r.service_cycles_per_op)
+        print(f"  {label:>11s}: stalled={r.service_stall_per_op:5.1f}  "
+              f"total={r.service_cycles_per_op:5.1f} cycles/op")
+
+    for label in ("mp-server", "HybComb"):
+        stalled, total = rows[label]
+        assert stalled <= 2.0, f"{label} servicing thread stalls ({stalled:.1f}/op)"
+        assert 6 <= total <= 25
+    for label in ("shm-server", "CC-Synch"):
+        stalled, total = rows[label]
+        assert stalled / total > 0.5, (
+            f"{label}: stalls are {stalled/total:.0%} of cycles (paper: >50%)"
+        )
+        assert 30 <= total <= 80
+
+
+def test_fig4b_combining_rate(benchmark, quick):
+    fig = run_once(benchmark, run_fig4b, quick=quick)
+    rate = lambda r: r.combining_rate or 0.0
+    print_figure(fig, rate)
+
+    hyb = fig.series["HybComb"]
+    cc = fig.series["CC-Synch"]
+    high_t = max(hyb.xs())
+    # sharp increase with concurrency for HYBCOMB (the circular effect)
+    assert hyb.y_at(high_t, rate) > 8 * hyb.y_at(min(hyb.xs()), rate)
+    # at high concurrency CC-SYNCH reaches the MAX_OPS=200 ceiling...
+    assert cc.y_at(high_t, rate) >= 195
+    # ...and HYBCOMB is slightly below it (non-atomic register+reset)
+    assert 0.55 * 200 <= hyb.y_at(high_t, rate) <= 201
+    # low concurrency: roughly one op per other thread per session
+    low = min(x for x in hyb.xs() if x >= 5)
+    assert hyb.y_at(low, rate) <= low  # cannot exceed T-1 by much
+
+
+def test_fig4c_cs_length(benchmark, quick):
+    fig = run_once(benchmark, run_fig4c, quick=quick)
+    cpo = lambda r: r.cycles_per_op
+    print_figure(fig, cpo)
+
+    mp = fig.series["mp-server"]
+    hyb = fig.series["HybComb"]
+    shm = fig.series["shm-server"]
+    cc = fig.series["CC-Synch"]
+    ideal = fig.series["ideal"]
+    k0, kmax = min(mp.xs()), max(mp.xs())
+
+    # constant, small overhead for the message-passing approaches
+    for s in (mp, hyb):
+        over = [s.y_at(k, cpo) - ideal.y_at(k, cpo) for k in s.xs()]
+        assert max(over) - min(over) <= 12, f"{s.label}: overhead not constant"
+        assert max(over) <= 20
+    # short CS: SHM approaches ~30 cycles above MP-SERVER (paper: ~30)
+    gap0 = shm.y_at(k0, cpo) - mp.y_at(k0, cpo)
+    assert 18 <= gap0 <= 55, f"short-CS gap {gap0:.0f} (paper: ~30)"
+    # long CS: worst vs best within ~20% (paper: ~10% at 15 iterations)
+    approaches = [mp, hyb, shm, cc]
+    best = min(s.y_at(kmax, cpo) for s in approaches)
+    worst = max(s.y_at(kmax, cpo) for s in approaches)
+    assert (worst - best) / best <= 0.25, (
+        f"long-CS spread {(worst-best)/best:.0%} (paper: ~10%)"
+    )
+    # everything is bounded below by the ideal line
+    for s in approaches:
+        for k in s.xs():
+            assert s.y_at(k, cpo) >= ideal.y_at(k, cpo) * 0.98

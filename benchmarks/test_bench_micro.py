@@ -1,0 +1,100 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+These are classic pytest-benchmark timings (wall time of the simulator,
+not simulated cycles): they track the engine's event throughput and the
+cost of the memory/UDN primitives so a performance regression in the
+substrate is caught before it turns every figure run to molasses.
+"""
+
+from repro.machine import Machine, tile_gx
+from repro.sim import Simulator
+
+
+def test_engine_event_throughput(benchmark):
+    """Pure engine: two processes ping-ponging delays."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(20_000):
+                yield 1
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 40_000
+
+
+def test_cache_hit_loop(benchmark):
+    """Hot loop of cache-hit loads/stores on one core."""
+
+    def run():
+        m = Machine(tile_gx())
+        a = m.mem.alloc(1)
+        ctx = m.thread(0)
+
+        def prog():
+            for _ in range(5_000):
+                v = yield from ctx.load(a)
+                yield from ctx.store(a, v + 1)
+
+        m.spawn(ctx, prog())
+        m.run()
+        return m.mem.peek(a)
+
+    assert benchmark(run) == 5_000
+
+
+def test_udn_message_round_trips(benchmark):
+    """Request/response ping-pong through the hardware message queues."""
+
+    def run():
+        m = Machine(tile_gx())
+        t0 = m.thread(0)
+        t1 = m.thread(1)
+        N = 2_000
+
+        def server():
+            for _ in range(N):
+                (v,) = yield from t0.receive(1)
+                yield from t0.send(1, [v + 1])
+
+        def client():
+            total = 0
+            for i in range(N):
+                yield from t1.send(0, [i])
+                (v,) = yield from t1.receive(1)
+                total += v
+            return total
+
+        m.spawn(t0, server())
+        p = m.spawn(t1, client())
+        m.run()
+        return p.result
+
+    expected = sum(i + 1 for i in range(2_000))
+    assert benchmark(run) == expected
+
+
+def test_atomic_faa_throughput(benchmark):
+    """Controller atomics under contention from four cores."""
+
+    def run():
+        m = Machine(tile_gx())
+        a = m.mem.alloc(1)
+
+        def prog(ctx):
+            for _ in range(1_000):
+                yield from ctx.faa(a, 1)
+
+        for i in range(4):
+            ctx = m.thread(i)
+            m.spawn(ctx, prog(ctx))
+        m.run()
+        return m.mem.peek(a)
+
+    assert benchmark(run) == 4_000

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Oversubscription via the 4-way demultiplexed hardware queues (Sec. 6).
+
+"On the TILE-Gx, oversubscribing is easily achieved thanks to the
+possibility to multiplex the hardware queue of each core ... up to four
+threads can share a core and still have their exclusive message queue."
+
+This example pins 1..4 client threads per core on a fixed set of cores
+and shows that MP-SERVER keeps serving at full speed: the dedicated
+server, not the clients, is the bottleneck, so packing more client
+threads per core does not hurt aggregate throughput -- and each thread
+still owns a private hardware FIFO.
+
+Run:  python examples/oversubscription.py
+"""
+
+from repro.analysis.render import markdown_table
+from repro.experiments.discussion import run_oversubscription
+
+
+def main() -> None:
+    fig = run_oversubscription(quick=True, threads_per_core=4, num_cores=8)
+    print("MP-SERVER counter, 8 client cores, 1..4 threads pinned per core\n")
+    print(markdown_table(fig, lambda r: r.throughput_mops))
+    s = fig.series["mp-server"]
+    tput = lambda r: r.throughput_mops
+    print(f"1 thread/core : {s.y_at(1, tput):6.1f} Mops/s  (8 client threads)")
+    print(f"4 threads/core: {s.y_at(4, tput):6.1f} Mops/s  (32 client threads)")
+    print("\nEvery thread keeps an exclusive hardware queue (demux 0-3), so")
+    print("responses are never mixed up; the server stays saturated either way.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro -- a full reproduction of "Leveraging Hardware Message Passing
+for Efficient Thread Synchronization" (Petrović, Ropars, Schiper;
+PPoPP 2014) on a simulated hybrid manycore.
+
+The package layers as follows (bottom up):
+
+* :mod:`repro.sim` -- deterministic discrete-event engine.
+* :mod:`repro.noc` -- 2D-mesh network-on-chip.
+* :mod:`repro.mem` -- directory-based cache-coherent memory with RMR and
+  stall accounting, plus memory-controller atomics.
+* :mod:`repro.udn` -- hardware message passing (TILE-Gx UDN semantics).
+* :mod:`repro.machine` -- machine profiles and the simulated-thread API.
+* :mod:`repro.core` -- the paper's synchronization algorithms:
+  MP-SERVER, HYBCOMB (the contribution), SHM-SERVER (RCL-style) and
+  CC-SYNCH (the shared-memory state of the art), plus baseline locks.
+* :mod:`repro.objects` -- linearizable counters, queues and stacks built
+  on those algorithms (MS-Queue, LCRQ, Treiber, coarse-lock stack).
+* :mod:`repro.workload` -- the paper's benchmark methodology and metrics.
+* :mod:`repro.experiments` -- one module per figure of the evaluation.
+
+Quickstart::
+
+    from repro.core import MPServer
+    from repro.workload import run_counter_benchmark
+
+    result = run_counter_benchmark(MPServer, num_threads=16)
+    print(result.throughput_mops, "Mops/s")
+"""
+
+from repro.machine import Machine, MachineConfig, ThreadCtx, tile_gx, x86_like
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "Simulator",
+    "ThreadCtx",
+    "tile_gx",
+    "x86_like",
+    "__version__",
+]

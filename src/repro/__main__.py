@@ -1,0 +1,79 @@
+"""``python -m repro`` -- top-level command-line interface.
+
+Subcommands:
+
+* ``info``        -- package, machine profiles, experiment registry
+* ``quickstart``  -- the counter shootout at one concurrency level
+* ``experiments`` -- forwarded to ``repro.experiments`` (all flags work)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.experiments import EXPERIMENTS
+    from repro.machine import scc_like, tile_gx, x86_like
+
+    print(f"repro {repro.__version__} -- reproduction of Petrovic et al., "
+          f"PPoPP 2014")
+    print("\nmachine profiles:")
+    for cfg in (tile_gx(), x86_like(), scc_like()):
+        feats = []
+        if cfg.has_udn:
+            feats.append("hw message passing")
+        if cfg.has_coherent_shm:
+            feats.append("coherent shm")
+        feats.append(f"atomics@{cfg.atomic_at}")
+        print(f"  {cfg.name:<12s} {cfg.num_cores:>3d} cores @ "
+              f"{cfg.clock_mhz} MHz   [{', '.join(feats)}]")
+    print("\nexperiments (python -m repro experiments <id> [--full]):")
+    for exp_id in EXPERIMENTS:
+        print(f"  {exp_id}")
+    print("\napproaches: mp-server, HybComb, shm-server, CC-Synch")
+    print("objects: counter, MS-Queue (1/2-lock), LCRQ, stack, Treiber, "
+          "elimination stack")
+    return 0
+
+
+def cmd_quickstart(args) -> int:
+    from repro.workload import WorkloadSpec, run_counter_benchmark
+
+    spec = WorkloadSpec()
+    print(f"concurrent counter, {args.threads} threads, simulated "
+          f"TILE-Gx @ 1.2 GHz")
+    for approach in ("mp-server", "HybComb", "shm-server", "CC-Synch"):
+        r = run_counter_benchmark(approach, args.threads, spec=spec)
+        print(f"  {approach:>11s}: {r.throughput_mops:6.1f} Mops/s   "
+              f"latency {r.mean_latency_cycles:6.0f} cycles")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # forward `experiments` wholesale so its own flags keep working
+    if argv and argv[0] == "experiments":
+        from repro.experiments.registry import main as exp_main
+        return exp_main(argv[1:])
+
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="cmd")
+    sub.add_parser("info", help="package and registry overview")
+    q = sub.add_parser("quickstart", help="counter shootout")
+    q.add_argument("threads", nargs="?", type=int, default=20)
+    sub.add_parser("experiments", help="run figure reproductions "
+                                       "(see python -m repro.experiments -h)")
+    args = parser.parse_args(argv)
+    if args.cmd == "info" or args.cmd is None:
+        return cmd_info(args)
+    if args.cmd == "quickstart":
+        return cmd_quickstart(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Result aggregation and presentation for the experiment harness.
+
+* :mod:`repro.analysis.series` -- :class:`Series` / :class:`FigureData`:
+  the (x, RunResult) collections every experiment returns.
+* :mod:`repro.analysis.render` -- ASCII line/bar charts, markdown
+  tables and CSV export so figures can be inspected in a terminal and
+  committed to EXPERIMENTS.md.
+* :mod:`repro.analysis.linearizability` -- history recording and a
+  Wing&Gong linearizability checker with sequential specs for the
+  paper's object families (counter / FIFO queue / LIFO stack).
+"""
+
+from repro.analysis.linearizability import (
+    CounterSpec,
+    History,
+    QueueSpec,
+    StackSpec,
+    check_linearizable,
+)
+from repro.analysis.render import ascii_chart, bar_chart, markdown_table, to_csv
+from repro.analysis.series import FigureData, Series
+
+__all__ = [
+    "CounterSpec",
+    "FigureData",
+    "History",
+    "QueueSpec",
+    "Series",
+    "StackSpec",
+    "ascii_chart",
+    "bar_chart",
+    "check_linearizable",
+    "markdown_table",
+    "to_csv",
+]

@@ -1,0 +1,272 @@
+"""History recording and linearizability checking (Herlihy & Wing [15]).
+
+The paper's objects are all *linearizable*; the test-suite mostly checks
+cheap necessary conditions (ticket permutations, element conservation).
+This module provides the real thing for small histories: record
+concurrent invocation/response intervals, then search for a legal
+sequential witness with the Wing & Gong algorithm (depth-first search
+over linearization orders with memoized visited states).
+
+The checker is exponential in the worst case, so it is a *testing* tool:
+histories of a few hundred operations across a handful of threads check
+in milliseconds, which is exactly the scale the property-based tests
+generate.
+
+Sequential specifications are provided for the paper's three object
+families (counter, FIFO queue, LIFO stack); new ones are a small class
+away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+__all__ = [
+    "Operation",
+    "History",
+    "SequentialSpec",
+    "CounterSpec",
+    "QueueSpec",
+    "StackSpec",
+    "check_linearizable",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed operation in a concurrent history."""
+
+    tid: int
+    op: str          #: e.g. "inc", "enq", "deq", "push", "pop", "read"
+    arg: Any
+    retval: Any
+    invoke_t: int
+    response_t: int
+
+    def __post_init__(self):
+        if self.response_t < self.invoke_t:
+            raise ValueError("operation responds before it is invoked")
+
+
+class History:
+    """A recorder for concurrent operations.
+
+    Usage inside simulated threads::
+
+        t0 = machine.now
+        v = yield from queue.dequeue(ctx)
+        history.record(ctx.tid, "deq", None, v, t0, machine.now)
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[Operation] = []
+
+    def record(self, tid: int, op: str, arg: Any, retval: Any,
+               invoke_t: int, response_t: int) -> None:
+        self.ops.append(Operation(tid, op, arg, retval, invoke_t, response_t))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class SequentialSpec:
+    """A sequential object: immutable-state step function.
+
+    ``initial()`` returns a hashable state; ``apply(state, op)`` returns
+    the successor state if executing ``op`` in ``state`` legally yields
+    ``op.retval``, else ``None``.
+    """
+
+    def initial(self) -> Hashable:
+        raise NotImplementedError
+
+    def apply(self, state: Hashable, op: Operation) -> Optional[Hashable]:
+        raise NotImplementedError
+
+
+class CounterSpec(SequentialSpec):
+    """fetch-and-increment ("inc" returns the pre-value) + "read"."""
+
+    def initial(self) -> Hashable:
+        return 0
+
+    def apply(self, state: int, op: Operation) -> Optional[int]:
+        if op.op == "inc":
+            return state + 1 if op.retval == state else None
+        if op.op == "read":
+            return state if op.retval == state else None
+        raise ValueError(f"unknown counter op {op.op!r}")
+
+
+#: sentinel matching repro.objects.EMPTY for queue/stack specs
+EMPTY = (1 << 64) - 1
+
+
+class QueueSpec(SequentialSpec):
+    """FIFO queue: "enq" (arg=value) and "deq" (retval=value or EMPTY)."""
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(self, state: Tuple, op: Operation) -> Optional[Tuple]:
+        if op.op == "enq":
+            return state + (op.arg,)
+        if op.op == "deq":
+            if op.retval == EMPTY:
+                return state if not state else None
+            if state and state[0] == op.retval:
+                return state[1:]
+            return None
+        raise ValueError(f"unknown queue op {op.op!r}")
+
+
+class StackSpec(SequentialSpec):
+    """LIFO stack: "push" (arg=value) and "pop" (retval=value or EMPTY)."""
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(self, state: Tuple, op: Operation) -> Optional[Tuple]:
+        if op.op == "push":
+            return state + (op.arg,)
+        if op.op == "pop":
+            if op.retval == EMPTY:
+                return state if not state else None
+            if state and state[-1] == op.retval:
+                return state[:-1]
+            return None
+        raise ValueError(f"unknown stack op {op.op!r}")
+
+
+def check_linearizable(history: History, spec: SequentialSpec,
+                       *, max_states: int = 2_000_000) -> bool:
+    """Wing & Gong DFS: is there a legal linearization of ``history``?
+
+    An operation may linearize only after every operation whose response
+    precedes its invocation (real-time order).  The search picks, at
+    each step, any *minimal* pending operation (one whose invocation
+    precedes the earliest response among unlinearized ops), tries to
+    apply it to the sequential state, and backtracks on failure.
+    Visited (state, remaining-set) pairs are memoized.
+
+    Raises ``RuntimeError`` if the search exceeds ``max_states`` visited
+    configurations (never observed for the test-suite's history sizes).
+    """
+    ops = sorted(history.ops, key=lambda o: (o.invoke_t, o.response_t))
+    n = len(ops)
+    if n == 0:
+        return True
+    if n > 64:
+        # the memoization key uses a bitmask
+        return _check_chunked(ops, spec, max_states)
+    return _dfs(ops, spec, max_states)
+
+
+def _dfs(ops: List[Operation], spec: SequentialSpec, max_states: int) -> bool:
+    n = len(ops)
+    full_mask = (1 << n) - 1
+    seen: set = set()
+    visited = 0
+
+    def search(done_mask: int, state: Hashable) -> bool:
+        nonlocal visited
+        if done_mask == full_mask:
+            return True
+        key = (done_mask, state)
+        if key in seen:
+            return False
+        visited += 1
+        if visited > max_states:
+            raise RuntimeError("linearizability search exceeded state budget")
+        # minimal-response frontier: an op can be chosen only if no
+        # *other pending* op responded before this op was invoked
+        min_response = min(
+            ops[i].response_t for i in range(n) if not done_mask >> i & 1
+        )
+        for i in range(n):
+            if done_mask >> i & 1:
+                continue
+            op = ops[i]
+            if op.invoke_t > min_response:
+                break  # ops are sorted by invocation: nothing later qualifies
+            nxt = spec.apply(state, op)
+            if nxt is not None and search(done_mask | (1 << i), nxt):
+                return True
+        seen.add(key)
+        return False
+
+    return search(0, spec.initial())
+
+
+def _check_chunked(ops: List[Operation], spec: SequentialSpec, max_states: int) -> bool:
+    """For long histories, split at quiescent points (moments where no
+    operation is in flight): linearizability composes across quiescence.
+
+    Because one chunk can have several legal final states (e.g. two
+    concurrent enqueues commute into either order), a *frontier set* of
+    reachable states is threaded from chunk to chunk.
+    """
+    chunks: List[List[Operation]] = []
+    current: List[Operation] = []
+    inflight_until = -1
+    for op in ops:
+        if current and op.invoke_t > inflight_until:
+            chunks.append(current)
+            current = []
+        current.append(op)
+        inflight_until = max(inflight_until, op.response_t)
+    chunks.append(current)
+    if any(len(c) > 64 for c in chunks):
+        raise RuntimeError(
+            "history has a >64-op non-quiescent span; record a shorter run"
+        )
+    frontier = {spec.initial()}
+    for chunk in chunks:
+        next_frontier: set = set()
+        for state in frontier:
+            next_frontier |= _final_states(chunk, spec, state, max_states)
+        if not next_frontier:
+            return False
+        frontier = next_frontier
+    return True
+
+
+def _final_states(ops: List[Operation], spec: SequentialSpec,
+                  initial: Hashable, max_states: int) -> set:
+    """All sequential-object states reachable by legal linearizations of
+    ``ops`` starting from ``initial`` (empty set = not linearizable)."""
+    n = len(ops)
+    full_mask = (1 << n) - 1
+    memo: Dict[Tuple[int, Hashable], FrozenSet] = {}
+    visited = 0
+
+    def search(done_mask: int, state: Hashable) -> FrozenSet:
+        nonlocal visited
+        if done_mask == full_mask:
+            return frozenset((state,))
+        key = (done_mask, state)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        visited += 1
+        if visited > max_states:
+            raise RuntimeError("linearizability search exceeded state budget")
+        finals: set = set()
+        min_response = min(
+            ops[i].response_t for i in range(n) if not done_mask >> i & 1
+        )
+        for i in range(n):
+            if done_mask >> i & 1:
+                continue
+            op = ops[i]
+            if op.invoke_t > min_response:
+                break
+            nxt = spec.apply(state, op)
+            if nxt is not None:
+                finals |= search(done_mask | (1 << i), nxt)
+        result = frozenset(finals)
+        memo[key] = result
+        return result
+
+    return set(search(0, initial))

@@ -1,0 +1,99 @@
+"""Terminal rendering and export of reproduced figures.
+
+No plotting library is available offline, so figures render as ASCII
+charts (good enough to eyeball the shapes against the paper) plus
+markdown tables and CSV (the precise numbers for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.series import FigureData
+from repro.workload.metrics import RunResult
+
+__all__ = ["ascii_chart", "bar_chart", "markdown_table", "to_csv"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(fig: FigureData, metric: Callable[[RunResult], float],
+                *, width: int = 72, height: int = 20) -> str:
+    """Render the figure's curves as an ASCII scatter/line chart."""
+    all_pts = [(x, metric(r)) for s in fig.series.values() for x, r in s.points]
+    if not all_pts:
+        return f"[{fig.figure_id}: no data]"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = 0.0, max(ys) * 1.05 or 1.0
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, s) in enumerate(fig.series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, r in s.points:
+            cx = int((x - xmin) / xspan * (width - 1))
+            cy = int((metric(r) - ymin) / yspan * (height - 1))
+            grid[height - 1 - cy][cx] = mark
+
+    out = io.StringIO()
+    out.write(f"{fig.title}\n")
+    out.write(f"{fig.y_label} (max {ymax:.1f})\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f" {fig.x_label}: {xmin:g} .. {xmax:g}\n")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} {label}" for i, label in enumerate(fig.series)
+    )
+    out.write(f" legend: {legend}\n")
+    return out.getvalue()
+
+
+def bar_chart(labels: Sequence[str], pairs: Dict[str, Sequence[float]],
+              *, width: int = 50, title: str = "") -> str:
+    """Grouped horizontal bars (used for Figure 4a's stall breakdown).
+
+    ``pairs`` maps group names (e.g. "stalled", "total") to one value
+    per label.
+    """
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    peak = max((max(v) for v in pairs.values() if len(v)), default=1.0) or 1.0
+    for i, label in enumerate(labels):
+        for group, values in pairs.items():
+            v = values[i]
+            bar = "#" * int(v / peak * width)
+            out.write(f"  {label:>10s} {group:>8s} |{bar} {v:.1f}\n")
+    return out.getvalue()
+
+
+def markdown_table(fig: FigureData, metric: Callable[[RunResult], float],
+                   *, fmt: str = "{:.1f}") -> str:
+    """One row per x value, one column per series."""
+    xs = sorted({x for s in fig.series.values() for x, _ in s.points})
+    out = io.StringIO()
+    out.write("| " + fig.x_label + " | " + " | ".join(fig.series) + " |\n")
+    out.write("|" + "---|" * (len(fig.series) + 1) + "\n")
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in fig.series.values():
+            y = s.y_at(x, metric)
+            row.append(fmt.format(y) if y is not None else "-")
+        out.write("| " + " | ".join(row) + " |\n")
+    return out.getvalue()
+
+
+def to_csv(fig: FigureData, metrics: Dict[str, Callable[[RunResult], float]]) -> str:
+    """Long-format CSV: series,x,<metric columns>."""
+    out = io.StringIO()
+    out.write("series,x," + ",".join(metrics) + "\n")
+    for label, s in fig.series.items():
+        for x, r in s.points:
+            vals = ",".join(f"{fn(r):.4f}" for fn in metrics.values())
+            out.write(f"{label},{x:g},{vals}\n")
+    return out.getvalue()

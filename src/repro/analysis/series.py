@@ -1,0 +1,64 @@
+"""Data containers shared by every experiment module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workload.metrics import RunResult
+
+__all__ = ["Series", "FigureData"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: x values with their full RunResults."""
+
+    label: str
+    points: List[Tuple[float, RunResult]] = field(default_factory=list)
+
+    def add(self, x: float, result: RunResult) -> None:
+        self.points.append((x, result))
+
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self, metric: Callable[[RunResult], float]) -> List[float]:
+        return [metric(r) for _, r in self.points]
+
+    def y_at(self, x: float, metric: Callable[[RunResult], float]) -> Optional[float]:
+        for px, r in self.points:
+            if px == x:
+                return metric(r)
+        return None
+
+    def peak(self, metric: Callable[[RunResult], float]) -> float:
+        return max(self.ys(metric)) if self.points else 0.0
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: id, axis labels, and its curves."""
+
+    figure_id: str                #: e.g. "fig3a"
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def series_for(self, label: str) -> Series:
+        s = self.series.get(label)
+        if s is None:
+            s = Series(label)
+            self.series[label] = s
+        return s
+
+    def add_point(self, label: str, x: float, result: RunResult) -> None:
+        self.series_for(label).add(x, result)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def labels(self) -> List[str]:
+        return list(self.series.keys())

@@ -1,0 +1,136 @@
+"""Common interface of all synchronization approaches.
+
+An :class:`OpTable` registers critical-section bodies and hands out the
+integer opcodes that travel in requests (the paper's inlining
+optimization: a "unique opcode of the CS" instead of a function
+pointer).  A CS body is a generator ``fn(ctx, arg) -> int``: it runs
+*on the servicing thread's context*, so the shared data it touches is
+charged to -- and cached at -- the servicing core.  That is precisely the
+data-locality effect the server/combiner approaches exploit.
+
+A :class:`SyncPrimitive` executes opcodes in mutual exclusion via
+``apply_op``.  Server-based primitives additionally occupy dedicated
+threads (``service_threads``/``start``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.machine.machine import Machine, ThreadCtx
+
+__all__ = ["OpTable", "SyncPrimitive", "NULL_ARG"]
+
+#: placeholder argument for zero-argument operations
+NULL_ARG = 0
+
+OpFn = Callable[[ThreadCtx, int], Generator[Any, Any, int]]
+
+
+class OpTable:
+    """Registry of critical-section bodies, dispatched by opcode.
+
+    ``dispatch_cost`` models the indirect branch / inlined-switch the
+    servicing thread executes per request (a couple of cycles).
+    """
+
+    def __init__(self, dispatch_cost: int = 1):
+        self.dispatch_cost = dispatch_cost
+        self._ops: List[Tuple[str, OpFn]] = []
+
+    def register(self, fn: OpFn, name: Optional[str] = None) -> int:
+        """Register a CS body; returns its opcode."""
+        opcode = len(self._ops)
+        self._ops.append((name or fn.__name__, fn))
+        return opcode
+
+    def name_of(self, opcode: int) -> str:
+        return self._ops[opcode][0]
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def execute(self, ctx: ThreadCtx, opcode: int, arg: int) -> Generator[Any, Any, int]:
+        """Run the CS body for ``opcode`` on ``ctx`` (the servicing thread)."""
+        try:
+            _name, fn = self._ops[opcode]
+        except IndexError:
+            raise ValueError(f"unknown opcode {opcode}") from None
+        if self.dispatch_cost:
+            yield from ctx.work(self.dispatch_cost)
+        retval = yield from fn(ctx, arg)
+        return int(retval) if retval is not None else 0
+
+
+class SyncPrimitive:
+    """Base class: execute registered opcodes in mutual exclusion.
+
+    Life cycle: construct with the machine and an op table, call
+    :meth:`start` once (spawns any dedicated server threads), then any
+    number of application threads call ``yield from
+    prim.apply_op(ctx, opcode, arg)`` concurrently.
+
+    ``service_threads`` is the number of *dedicated* (non-application)
+    threads the primitive consumes -- the cost the combining approaches
+    exist to avoid (1 per server for the server approaches, 0 for
+    combiners and locks).
+    """
+
+    #: number of dedicated threads this primitive needs
+    service_threads: int = 0
+    #: human-readable name used in figures/legends
+    name: str = "?"
+
+    def __init__(self, machine: Machine, optable: OpTable):
+        self.machine = machine
+        self.optable = optable
+        self._started = False
+        #: (end_time, ops_combined) per combining session -- combiners only
+        self.combining_sessions: List[Tuple[int, int]] = []
+        #: core of the most recent combiner (combiners only; used by the
+        #: fixed-combiner measurement of Figure 4a)
+        self.current_combiner_core: Optional[int] = None
+
+    def start(self) -> None:
+        """Spawn dedicated threads (if any).  Idempotence is an error."""
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        self._start()
+
+    def _start(self) -> None:
+        """Hook for subclasses with dedicated threads."""
+
+    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+        """Execute ``opcode(arg)`` in mutual exclusion; returns its result."""
+        raise NotImplementedError
+
+    # -- metrics hooks -----------------------------------------------------
+    def servicing_cores(self) -> List[int]:
+        """Core ids whose cycle counters represent the servicing thread
+        (the server core, or every app core for combining approaches)."""
+        raise NotImplementedError
+
+    def record_session(self, ops: int) -> None:
+        self.combining_sessions.append((self.machine.now, ops))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DirectExec(SyncPrimitive):
+    """No synchronization at all: run the CS body on the calling thread.
+
+    Only correct single-threaded.  Used to produce the "ideal" reference
+    line of Figure 4c (the CS body with zero synchronization overhead)
+    and as a baseline in tests.
+    """
+
+    service_threads = 0
+    name = "ideal"
+
+    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG):
+        return (yield from self.optable.execute(ctx, opcode, arg))
+
+    def servicing_cores(self) -> List[int]:
+        return []

@@ -1,0 +1,227 @@
+"""HYBCOMB (Section 4.2, Algorithm 1): hybrid combining.
+
+The paper's central contribution: a combining algorithm for *hybrid*
+processors.  Hardware message passing carries requests and responses
+between clients and the current combiner (so the combiner's critical
+path is stall-free, like MP-SERVER's); cache-coherent shared memory
+manages *combiner identity* (which would be "complex and probably
+inefficient" over pure message passing).
+
+Shared state:
+
+* ``last_registered_combiner`` -- pointer to the node of the last thread
+  that registered to combine (the tail of the logical CSqueue);
+* ``departed_combiner`` -- pointer to the one extra node (n+1 nodes for n
+  threads) left behind by the last combiner to finish;
+* per-thread ``Node`` with fields ``thread_id``, ``n_ops`` and
+  ``combining_done`` (each node on its own cache line; ``n_ops`` is the
+  FAA target every client hits to register a request).
+
+The line numbers in comments refer to Algorithm 1 of the paper.
+
+Invariant checking: with ``machine.cfg.debug_checks`` the implementation
+asserts the CSqueue invariants of the proof sketch (one active combiner
+at a time -- Proposition 1 -- and that a client blocked at line 14 only
+ever receives its 1-word response -- Proposition 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from repro.core.api import NULL_ARG, OpTable, SyncPrimitive
+from repro.machine.machine import Machine, ThreadCtx
+
+__all__ = ["HybComb"]
+
+_THREAD_ID = 0
+_N_OPS = 1
+_DONE = 2
+
+#: sentinel thread id for the initial extra node (the paper's "bottom")
+_NO_THREAD = (1 << 32) - 1
+
+#: MAX_OPS for emulating a fixed combiner (Fig 4a: "equivalent to MAX_OPS = inf")
+INFINITE = 1 << 40
+
+
+class HybComb(SyncPrimitive):
+    """Algorithm 1 of the paper, faithfully transcribed."""
+
+    service_threads = 0
+    name = "HybComb"
+
+    def __init__(self, machine: Machine, optable: OpTable, max_ops: int = 200,
+                 fixed_combiner_tid: Optional[int] = None,
+                 swap_after_cas_failures: Optional[int] = None):
+        """``fixed_combiner_tid`` enables the Figure 4a measurement mode:
+        that thread becomes a permanent combiner ("equivalent to setting
+        MAX_OPS = inf", footnote 4) -- its node stays registered and open
+        forever and it runs a pure receive/execute/respond loop, so its
+        core's counters isolate the servicing critical path.
+
+        ``swap_after_cas_failures`` implements the paper's suggested
+        middle ground: "use SWAP only if CAS fails several times".
+        After that many consecutive CAS failures within one apply_op, the
+        thread registers unconditionally with SWAP -- trading possible
+        single-op combining sessions for guaranteed registration progress
+        (no starvation through repeated CAS failure)."""
+        super().__init__(machine, optable)
+        if max_ops < 1:
+            raise ValueError("max_ops must be >= 1")
+        if swap_after_cas_failures is not None and swap_after_cas_failures < 1:
+            raise ValueError("swap_after_cas_failures must be >= 1")
+        self.swap_after_cas_failures = swap_after_cas_failures
+        self.swap_registrations = 0  #: SWAP fallbacks taken (stats)
+        self.fixed_combiner_tid = fixed_combiner_tid
+        if fixed_combiner_tid is not None:
+            max_ops = INFINITE  # registrations must never fail
+            self.service_threads = 1
+        self.max_ops = max_ops
+        mem = machine.mem
+        # Line 3: departed_combiner <- Node{_|_, MAX_OPS, true}
+        extra = self._new_node(_NO_THREAD, n_ops=max_ops, done=1)
+        self.departed_addr = mem.alloc(1, isolated=True)
+        mem.poke(self.departed_addr, extra)
+        # Line 4: last_registered_combiner <- departed_combiner
+        self.lrc_addr = mem.alloc(1, isolated=True)
+        mem.poke(self.lrc_addr, extra)
+        # Line 5 (per thread): my_node <- Node{id, MAX_OPS, false}
+        self._my_node: Dict[int, int] = {}
+        self._service_cores: List[int] = []
+        # debug: set of threads currently inside the combiner section
+        self._active_combiners: Set[int] = set()
+        self.requests_sent = 0
+        self.self_combined = 0  #: ops executed by their own thread as combiner
+        self._combiner_ctx = None
+        if fixed_combiner_tid is not None:
+            self._combiner_ctx = machine.thread(fixed_combiner_tid)
+            node = self._new_node(fixed_combiner_tid, n_ops=0, done=0)
+            self._my_node[fixed_combiner_tid] = node
+            mem.poke(self.lrc_addr, node)  # permanently registered and open
+
+    # -- node management ------------------------------------------------------
+    def _new_node(self, tid: int, n_ops: int, done: int) -> int:
+        mem = self.machine.mem
+        node = mem.alloc(self.machine.cfg.line_words, isolated=True)
+        mem.poke(node + _THREAD_ID, tid)
+        mem.poke(node + _N_OPS, n_ops)
+        mem.poke(node + _DONE, done)
+        return node
+
+    def _node_of(self, tid: int) -> int:
+        node = self._my_node.get(tid)
+        if node is None:
+            node = self._new_node(tid, n_ops=self.max_ops, done=0)
+            self._my_node[tid] = node
+        return node
+
+    def _start(self) -> None:
+        if self._combiner_ctx is not None:
+            self.machine.spawn(self._combiner_ctx, self._fixed_loop(),
+                               name=f"hybcomb-fixed-{self.fixed_combiner_tid}")
+
+    def _fixed_loop(self) -> Generator[Any, Any, None]:
+        """Permanent combiner (Figure 4a): receive / execute / respond."""
+        ctx = self._combiner_ctx
+        self._service_cores.append(ctx.core.cid)
+        self.current_combiner_core = ctx.core.cid
+        execute = self.optable.execute
+        while True:
+            sender, fp, farg = yield from ctx.receive(3)
+            r = yield from execute(ctx, fp, farg)
+            yield from ctx.send(sender, [r])
+
+    # -- Algorithm 1 -----------------------------------------------------------
+    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+        mem = self.machine.mem
+        tid = ctx.tid
+        my_node = self._node_of(tid)
+        cas_failures = 0
+        # Lines 8-21
+        while True:
+            # Line 9: last_reg <- last_registered_combiner
+            last_reg = yield from ctx.load(self.lrc_addr)
+            # Line 11: try to register with the last registered combiner
+            old = yield from ctx.faa(last_reg + _N_OPS, 1)
+            if old < self.max_ops:
+                # Lines 12-14: success -- send request, await response
+                combiner_tid = yield from ctx.load(last_reg + _THREAD_ID)
+                if self.machine.cfg.debug_checks:
+                    assert combiner_tid != _NO_THREAD, "registered with the bottom node"
+                yield from ctx.send(combiner_tid, [tid, opcode, arg])
+                self.requests_sent += 1
+                words = yield from ctx.receive(1)
+                if self.machine.cfg.debug_checks:
+                    # Proposition 2: only the 1-word response can arrive here
+                    assert len(words) == 1
+                return words[0]
+            # Lines 16-21: failure -- try to register as combiner
+            if (self.swap_after_cas_failures is not None
+                    and cas_failures >= self.swap_after_cas_failures):
+                # the suggested middle ground: SWAP always succeeds
+                last_reg = yield from ctx.swap(self.lrc_addr, my_node)
+                self.swap_registrations += 1
+                ok = True
+            else:
+                ok = yield from ctx.cas(self.lrc_addr, last_reg, my_node)
+            if ok:
+                # Line 18: open our node for registrations
+                yield from ctx.store(my_node + _N_OPS, 0)
+                # Lines 19-20: wait for the previous combiner to finish
+                yield from ctx.spin_until(last_reg + _DONE, lambda v: v == 1)
+                break
+            cas_failures += 1
+        # ---- combiner section (lines 23-43, in mutual exclusion) ----
+        if self.machine.cfg.debug_checks:
+            self._active_combiners.add(tid)
+            assert len(self._active_combiners) == 1, (
+                f"mutual exclusion violated: combiners {self._active_combiners}"
+            )
+        if ctx.core.cid not in self._service_cores:
+            self._service_cores.append(ctx.core.cid)
+        self.current_combiner_core = ctx.core.cid
+        execute = self.optable.execute
+        # Line 23: own operation first
+        retval = yield from execute(ctx, opcode, arg)
+        self.self_combined += 1
+        # Lines 25-28: drain the message queue while it is not empty
+        ops_completed = 0
+        while True:
+            empty = yield from ctx.is_queue_empty()
+            if empty:
+                break
+            sender, fp, farg = yield from ctx.receive(3)
+            r = yield from execute(ctx, fp, farg)
+            yield from ctx.send(sender, [r])
+            ops_completed += 1
+        # Lines 29-32: close combining for new requests
+        total_ops = yield from ctx.swap(my_node + _N_OPS, self.max_ops)
+        if total_ops > self.max_ops:
+            total_ops = self.max_ops
+        # Lines 33-37: serve the remaining registered requests
+        while ops_completed < total_ops:
+            sender, fp, farg = yield from ctx.receive(3)
+            r = yield from execute(ctx, fp, farg)
+            yield from ctx.send(sender, [r])
+            ops_completed += 1
+        # Lines 38-42: exchange nodes with the departed-combiner slot,
+        # then release the next combiner.  (The paper notes the SWAP at
+        # line 39 is "only for brevity; an atomic operation is not needed
+        # since these lines are executed in mutual exclusion" -- we use
+        # the cheap load+store pair accordingly.)
+        old_node = my_node
+        new_node = yield from ctx.load(self.departed_addr)
+        yield from ctx.store(self.departed_addr, old_node)
+        self._my_node[tid] = new_node
+        yield from ctx.store(new_node + _DONE, 0)        # line 40
+        yield from ctx.store(new_node + _THREAD_ID, tid)  # line 41
+        yield from ctx.fence()
+        if self.machine.cfg.debug_checks:
+            self._active_combiners.discard(tid)
+        self.record_session(1 + ops_completed)
+        yield from ctx.store(old_node + _DONE, 1)        # line 42
+        return retval                                     # line 43
+
+    def servicing_cores(self) -> List[int]:
+        return list(self._service_cores)

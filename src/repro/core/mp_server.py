@@ -1,0 +1,83 @@
+"""MP-SERVER (Section 4.1): the server approach over hardware messaging.
+
+A dedicated server thread loops on its local hardware message queue:
+
+* requests arrive as 3-word messages ``{client_tid, opcode, arg}``;
+* ``receive`` reads from the *local* buffer -- no remote action, no
+  stall (Figure 2, in contrast to Figure 1's SHM server);
+* the CS body executes on the server core, so CS data stays in the
+  server's cache;
+* the 1-word response is sent *asynchronously* -- the server never waits
+  for the transmission.
+
+Under load the server's critical path is therefore stall-free, which is
+the entire performance argument of the paper.
+
+The client side is two lines: send the request, block on the response.
+Section 6's deadlock argument holds here by construction: a client has
+at most one outstanding request, so its queue holds at most one message,
+and a client blocked sending a request (server buffer full) is
+equivalent to its normal blocking receive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.core.api import NULL_ARG, OpTable, SyncPrimitive
+from repro.machine.machine import Machine, ThreadCtx
+
+__all__ = ["MPServer"]
+
+#: request message layout: [client_tid, opcode, arg]
+REQUEST_WORDS = 3
+
+
+class MPServer(SyncPrimitive):
+    """Mutual-exclusion server over hardware message passing."""
+
+    service_threads = 1
+    name = "mp-server"
+
+    def __init__(self, machine: Machine, optable: OpTable, server_tid: int = 0,
+                 server_core: int | None = None, nested_tid: int | None = None):
+        """``nested_tid`` enables *nested critical sections* (the RCL
+        feature the paper's simplified SHM-SERVER omits): it registers a
+        second hardware queue (demux 1) on the server core under that
+        thread id, exposed as :attr:`nested_ctx`.  A CS body running on
+        this server may then invoke operations on *another* server
+        through ``other_prim.apply_op(this_prim.nested_ctx, ...)`` --
+        the nested response arrives on the alias queue and never mixes
+        with this server's incoming requests.  Nesting must be acyclic
+        across servers (A -> B is fine; A -> B -> A deadlocks, exactly
+        as on real hardware)."""
+        super().__init__(machine, optable)
+        self.server_tid = server_tid
+        self.server_ctx = machine.thread(server_tid, core_id=server_core)
+        self.nested_ctx = None
+        if nested_tid is not None:
+            self.nested_ctx = machine.thread(
+                nested_tid, core_id=self.server_ctx.core.cid, demux=1
+            )
+        #: requests served (stats)
+        self.requests_served = 0
+
+    def _start(self) -> None:
+        self.machine.spawn(self.server_ctx, self._server_loop(), name=f"mp-server-{self.server_tid}")
+
+    def _server_loop(self) -> Generator[Any, Any, None]:
+        ctx = self.server_ctx
+        execute = self.optable.execute
+        while True:
+            sender, opcode, arg = yield from ctx.receive(REQUEST_WORDS)
+            retval = yield from execute(ctx, opcode, arg)
+            yield from ctx.send(sender, [retval])
+            self.requests_served += 1
+
+    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+        yield from ctx.send(self.server_tid, [ctx.tid, opcode, arg])
+        words = yield from ctx.receive(1)
+        return words[0]
+
+    def servicing_cores(self) -> List[int]:
+        return [self.server_ctx.core.cid]

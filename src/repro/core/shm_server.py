@@ -1,0 +1,135 @@
+"""SHM-SERVER (Section 3 / Section 5.2): an RCL-style server over shared
+memory.
+
+This is the paper's pure-shared-memory server baseline, "a simplified
+version of RCL, since it implements the same core mechanism (an array of
+cache lines, one for each client), but lacks support for some advanced
+features, such as nested critical sections (note that this
+simplification does not decrease performance)".
+
+Each client owns one cache line used as a bidirectional channel:
+
+====== ==================================================
+word   meaning
+====== ==================================================
+0      request sequence number (written by the client)
+1      opcode
+2      argument
+3      response sequence number (written by the server)
+4      return value
+====== ==================================================
+
+Client: write opcode/arg, then bump word 0; spin locally on word 3.
+Server: scan all channels round-robin; a channel whose word 0 advanced
+carries a fresh request.  Figure 1's cost analysis falls out of the
+coherence protocol: the server's read of a freshly-written channel is an
+RMR (R(i), dark grey stall), and its response write invalidates the
+spinning client's copy (W(i), a second RMR) -- two stalls on the critical
+path of every CS, which is exactly what MP-SERVER eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Sequence
+
+from repro.core.api import NULL_ARG, OpTable, SyncPrimitive
+from repro.machine.machine import Machine, ThreadCtx
+
+__all__ = ["ShmServer"]
+
+_REQ_SEQ = 0
+_OPCODE = 1
+_ARG = 2
+_RESP_SEQ = 3
+_RETVAL = 4
+
+
+class ShmServer(SyncPrimitive):
+    """Mutual-exclusion server over cache-line channels (RCL-style)."""
+
+    service_threads = 1
+    name = "shm-server"
+
+    def __init__(self, machine: Machine, optable: OpTable, server_tid: int = 0,
+                 client_tids: Sequence[int] = (), server_core: int | None = None):
+        super().__init__(machine, optable)
+        self.server_tid = server_tid
+        self.server_ctx = machine.thread(server_tid, core_id=server_core)
+        # one isolated cache line per client (the RCL channel array)
+        self._channels: Dict[int, int] = {}
+        self._client_order: List[int] = []
+        for tid in client_tids:
+            self.add_client(tid)
+        # client-local request sequence numbers (thread-local state)
+        self._client_seq: Dict[int, int] = {}
+        # server-local record of the last sequence number served per client
+        self._served_seq: Dict[int, int] = {}
+        self.requests_served = 0
+        self._stopped = False
+
+    def add_client(self, tid: int) -> None:
+        """Allocate a channel line for client ``tid`` (before start)."""
+        if tid in self._channels:
+            raise ValueError(f"client {tid} already has a channel")
+        self._channels[tid] = self.machine.mem.alloc(
+            self.machine.cfg.line_words, isolated=True
+        )
+        self._client_order.append(tid)
+
+    def stop(self) -> None:
+        """Ask the polling server loop to exit (lets the simulation drain)."""
+        self._stopped = True
+
+    def _start(self) -> None:
+        self.machine.spawn(self.server_ctx, self._server_loop(), name=f"shm-server-{self.server_tid}")
+
+    def _server_loop(self) -> Generator[Any, Any, None]:
+        """Round-robin scan of all client channels (the RCL server loop)."""
+        ctx = self.server_ctx
+        execute = self.optable.execute
+        served = self._served_seq
+        order = self._client_order
+        n = len(order)
+        while not self._stopped:
+            for i, tid in enumerate(order):
+                ch = self._channels[tid]
+                seq = yield from ctx.load(ch + _REQ_SEQ)       # R(i): RMR when fresh
+                if seq == served.get(tid, 0):
+                    continue
+                opcode = yield from ctx.load(ch + _OPCODE)     # same line: hits
+                arg = yield from ctx.load(ch + _ARG)
+                # software-pipeline the next channel read behind this CS
+                # (the paper: RMRs "get partially overlapped with the CS
+                # execution" -- the O3-compiled server hoists the next
+                # channel's load above the critical section)
+                if n > 1:
+                    nxt = self._channels[order[(i + 1) % n]]
+                    yield from ctx.prefetch(nxt + _REQ_SEQ)
+                retval = yield from execute(ctx, opcode, arg)
+                yield from ctx.store(ch + _RETVAL, retval)     # W(i): invalidates client
+                yield from ctx.store(ch + _RESP_SEQ, seq)
+                served[tid] = seq
+                self.requests_served += 1
+            # loop-closing branch of the scan
+            yield from ctx.work(1)
+
+    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+        tid = ctx.tid
+        ch = self._channels.get(tid)
+        if ch is None:
+            raise KeyError(f"thread {tid} has no channel; call add_client({tid}) before start")
+        seq = self._client_seq.get(tid, 0) + 1
+        self._client_seq[tid] = seq
+        # publish the request on our own channel line; all three stores
+        # share the channel line, so the merging store buffer keeps the
+        # sequence bump ordered after the payload without a fence
+        yield from ctx.store(ch + _OPCODE, opcode)
+        yield from ctx.store(ch + _ARG, arg)
+        yield from ctx.store(ch + _REQ_SEQ, seq)
+        # local spin until the server's response sequence catches up
+        yield from ctx.spin_until(ch + _RESP_SEQ, lambda v: v == seq)
+        retval = yield from ctx.load(ch + _RETVAL)
+        return retval
+
+    def servicing_cores(self) -> List[int]:
+        return [self.server_ctx.core.cid]

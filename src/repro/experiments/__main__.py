@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` -- run reproduction experiments."""
+
+import sys
+
+from repro.experiments.registry import main
+
+sys.exit(main())

@@ -1,0 +1,71 @@
+"""Figure 5: concurrent queues and stacks under balanced load.
+
+* 5a -- one-lock MS-Queue under the four approaches, the two-lock
+  MS-Queue under MP-SERVER ("mp-server-2"), and LCRQ.
+* 5b -- the coarse-lock stack under the four approaches and Treiber's
+  nonblocking stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.series import FigureData
+from repro.workload.driver import WorkloadSpec
+from repro.workload.scenarios import (
+    QUEUE_IMPLS,
+    STACK_IMPLS,
+    run_queue_benchmark,
+    run_stack_benchmark,
+)
+
+__all__ = ["run_fig5a", "run_fig5b"]
+
+QUICK_CLIENTS = (2, 5, 10, 15, 20, 25, 30, 34)
+FULL_CLIENTS = (2, 4, 6, 8, 10, 12, 14, 17, 20, 23, 26, 29, 32, 34)
+
+
+def _spec(quick: bool) -> WorkloadSpec:
+    return WorkloadSpec.quick() if quick else WorkloadSpec.full()
+
+
+def _max_clients(impl: str) -> int:
+    if impl == "mp-server-2":
+        return 34  # two dedicated server cores
+    if impl in ("LCRQ", "Treiber", "HybComb", "CC-Synch", "HybComb-1", "CC-Synch-1"):
+        return 36
+    return 35  # one dedicated server core
+
+
+def run_fig5a(quick: bool = True,
+              clients: Optional[Sequence[int]] = None,
+              impls: Sequence[str] = QUEUE_IMPLS) -> FigureData:
+    clients = tuple(clients if clients is not None else
+                    (QUICK_CLIENTS if quick else FULL_CLIENTS))
+    spec = _spec(quick)
+    fig = FigureData("fig5a", "Queue throughput under balanced load (Fig 5a)",
+                     "clients", "throughput (Mops/s)")
+    for impl in impls:
+        for c in clients:
+            if c > _max_clients(impl):
+                continue
+            r = run_queue_benchmark(impl, c, spec=spec)
+            fig.add_point(impl, c, r)
+    return fig
+
+
+def run_fig5b(quick: bool = True,
+              clients: Optional[Sequence[int]] = None,
+              impls: Sequence[str] = STACK_IMPLS) -> FigureData:
+    clients = tuple(clients if clients is not None else
+                    (QUICK_CLIENTS if quick else FULL_CLIENTS))
+    spec = _spec(quick)
+    fig = FigureData("fig5b", "Stack throughput under balanced load (Fig 5b)",
+                     "clients", "throughput (Mops/s)")
+    for impl in impls:
+        for c in clients:
+            if c > _max_clients(impl):
+                continue
+            r = run_stack_benchmark(impl, c, spec=spec)
+            fig.add_point(impl, c, r)
+    return fig

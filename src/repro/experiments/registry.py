@@ -1,0 +1,137 @@
+"""Experiment registry and command-line entry point.
+
+``python -m repro.experiments fig3a fig5b`` runs selected experiments;
+with no arguments it runs all of them.  ``--full`` switches to the
+larger windows/sweeps used for EXPERIMENTS.md; ``--csv DIR`` exports
+each figure's data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.analysis.render import ascii_chart, bar_chart, markdown_table, to_csv
+from repro.analysis.series import FigureData
+from repro.experiments.discussion import (
+    run_backpressure,
+    run_noc_ablation,
+    run_oversubscription,
+    run_scc_comparison,
+    run_x86_comparison,
+)
+from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
+from repro.experiments.fig5 import run_fig5a, run_fig5b
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, Callable[..., FigureData]] = {
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig3c": run_fig3c,
+    "fig4a": run_fig4a,
+    "fig4b": run_fig4b,
+    "fig4c": run_fig4c,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+    "disc-x86": run_x86_comparison,
+    "disc-scc": run_scc_comparison,
+    "disc-oversub": run_oversubscription,
+    "disc-backpressure": run_backpressure,
+    "disc-noc": run_noc_ablation,
+}
+
+#: which metric each figure plots
+_METRIC = {
+    "fig3b": lambda r: r.mean_latency_cycles,
+    "fig4b": lambda r: r.combining_rate or 0.0,
+    "fig4c": lambda r: r.cycles_per_op,
+}
+
+
+def metric_for(figure_id: str):
+    return _METRIC.get(figure_id, lambda r: r.throughput_mops)
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> FigureData:
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(quick=quick)
+
+
+def render(fig: FigureData) -> str:
+    metric = metric_for(fig.figure_id)
+    if fig.figure_id == "fig4a":
+        labels = fig.labels()
+        stalled = [metric_stall(fig, lbl) for lbl in labels]
+        total = [metric_total(fig, lbl) for lbl in labels]
+        body = bar_chart(labels, {"stalled": stalled, "total": total},
+                         title=fig.title)
+    else:
+        body = ascii_chart(fig, metric)
+    table = markdown_table(fig, metric)
+    notes = "".join(f"note: {n}\n" for n in fig.notes)
+    return f"{body}\n{table}{notes}"
+
+
+def metric_stall(fig: FigureData, label: str) -> float:
+    (_x, r), = fig.series[label].points
+    return r.service_stall_per_op
+
+
+def metric_total(fig: FigureData, label: str) -> float:
+    (_x, r), = fig.series[label].points
+    return r.service_cycles_per_op
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce figures from the paper's evaluation.",
+    )
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"ids to run (default: all): {sorted(EXPERIMENTS)}")
+    parser.add_argument("--full", action="store_true",
+                        help="use the large windows/sweeps (slow)")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also export each figure's data as CSV")
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}")
+    for exp_id in ids:
+        t0 = time.time()
+        fig = run_experiment(exp_id, quick=not args.full)
+        dt = time.time() - t0
+        print(f"=== {exp_id} ({dt:.1f}s) " + "=" * 40)
+        print(render(fig))
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{exp_id}.csv")
+            metrics = {
+                "throughput_mops": lambda r: r.throughput_mops,
+                "latency_cycles": lambda r: r.mean_latency_cycles,
+                "cycles_per_op": lambda r: r.cycles_per_op,
+                "combining_rate": lambda r: r.combining_rate or 0.0,
+                "svc_cycles_per_op": lambda r: r.service_cycles_per_op,
+                "svc_stall_per_op": lambda r: r.service_stall_per_op,
+                "cas_per_op": lambda r: r.cas_per_op,
+            }
+            with open(path, "w") as f:
+                f.write(to_csv(fig, metrics))
+            print(f"[csv written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Machine assembly: configuration, cores, and the full simulated chip.
+
+* :mod:`repro.machine.config` -- :class:`MachineConfig` with every cost
+  constant, plus the calibrated :func:`~repro.machine.config.tile_gx` and
+  :func:`~repro.machine.config.x86_like` profiles.
+* :mod:`repro.machine.core` -- :class:`Core`: per-core cycle accounting
+  (busy / stall-by-cause / wait).
+* :mod:`repro.machine.machine` -- :class:`Machine`: wires the simulator,
+  mesh, coherent memory, UDN fabric and cores together and spawns
+  simulated threads (:class:`ThreadCtx` is their programming interface).
+"""
+
+from repro.machine.config import MachineConfig, scc_like, tile_gx, x86_like
+from repro.machine.core import Core
+from repro.machine.machine import Machine, ThreadCtx
+
+__all__ = ["Core", "Machine", "MachineConfig", "ThreadCtx", "scc_like", "tile_gx", "x86_like"]

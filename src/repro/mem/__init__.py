@@ -1,0 +1,24 @@
+"""Cache-coherent shared-memory subsystem.
+
+Implements the system model of Section 2 of the paper:
+
+* a flat array of 64-bit locations (:mod:`repro.mem.memory`: backing
+  store + cache-line-aware allocator);
+* per-core private caches kept coherent by a directory that maintains
+  the single-writer / multiple-reader invariant
+  (:mod:`repro.mem.cache`);
+* ``read``/``write`` plus the atomic read-modify-writes ``FAA``,
+  ``SWAP`` and ``CAS``, executed at the memory controllers as on the
+  TILE-Gx (:mod:`repro.mem.atomics`);
+* fences and the stall-accounting hooks that feed Figure 4a.
+
+Remote Memory References (RMRs) -- accesses that require a directory
+transaction over the mesh -- are both *charged* (the issuing core stalls)
+and *counted* (per-core counters), because the paper's whole argument is
+about how many RMRs sit on the servicing thread's critical path.
+"""
+
+from repro.mem.memory import Allocator, BackingStore, WORD_MASK
+from repro.mem.cache import CoherentMemory, LineState
+
+__all__ = ["Allocator", "BackingStore", "CoherentMemory", "LineState", "WORD_MASK"]

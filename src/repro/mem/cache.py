@@ -1,0 +1,451 @@
+"""Directory-based coherence protocol with cycle-cost and stall accounting.
+
+Model (Section 2 of the paper, after Sorin et al.):
+
+* every core has a private write-back cache; lines are ``line_words``
+  words;
+* a directory maintains the single-writer / multiple-reader (SWMR)
+  invariant: per line, either one core holds it Modified or any number
+  hold it Shared;
+* an access that needs a directory transaction over the mesh is a
+  *Remote Memory Reference* (RMR): the issuing core stalls for the
+  transfer and the per-core ``rmr`` counter increments.
+
+Two deliberate simplifications, both documented in DESIGN.md:
+
+* **Values are always stored in the global backing store** at the moment
+  an operation completes; cache state drives *timing only*.  Because all
+  conflicting transactions serialize on a per-line FIFO resource and the
+  engine is deterministic, executions are sequentially consistent --
+  matching the paper's system model.
+* **No capacity evictions.**  Synchronization structures are a few lines
+  per thread; they never approach the 32 KB+ private caches of the
+  TILE-Gx.
+
+Spinning uses :meth:`CoherentMemory.spin_until`: semantically a local
+spin loop (first read installs the line Shared; polling is then free
+until a writer invalidates, which wakes the spinner and charges it the
+re-fetch RMR) implemented in O(1) events per invalidation instead of one
+event per poll iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.machine.config import MachineConfig
+from repro.machine.core import Core
+from repro.mem.memory import Allocator, BackingStore, WORD_MASK
+from repro.noc.topology import Mesh
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Condition, Resource
+
+__all__ = ["CoherentMemory", "LineState"]
+
+
+class LineState:
+    """Symbolic cache-line states (E is folded into M; I is absence)."""
+
+    M = "M"
+    S = "S"
+
+
+class _Line:
+    """Directory entry for one cache line."""
+
+    __slots__ = ("owner", "sharers", "res", "cond")
+
+    def __init__(self, sim: Simulator):
+        self.owner: Optional[int] = None          # core id holding M
+        self.sharers: Set[int] = set()            # core ids holding S
+        self.res = Resource(sim, capacity=1)      # serializes transactions
+        self.cond = Condition(sim)                # wakes spinners on writes
+
+
+class CoherentMemory:
+    """The coherent shared-memory fabric of the simulated chip."""
+
+    def __init__(self, sim: Simulator, cfg: MachineConfig, mesh: Mesh, cores: List[Core]):
+        self.sim = sim
+        self.cfg = cfg
+        self.mesh = mesh
+        self.cores = cores
+        self.store_backing = BackingStore()
+        self.allocator = Allocator(line_words=cfg.line_words)
+        self._lines: Dict[int, _Line] = {}
+        # atomics executor is attached by the Machine (controller or cache mode)
+        self.atomics = None
+        #: number of mesh nodes, for line homing
+        self._num_nodes = mesh.num_nodes
+        # in-flight software prefetches: (core id, line) -> completion Event
+        self._prefetches: Dict[Tuple[int, int], Event] = {}
+        # one-entry store buffers: core id -> draining line / completion Event
+        self._sb_line: Dict[int, int] = {}
+        self._sb_event: Dict[int, Event] = {}
+        # private-memory ownership (message-passing-only profiles):
+        # line -> the single core allowed to touch it
+        self._private_owner: Dict[int, int] = {}
+
+    # -- address helpers ---------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr // self.cfg.line_words
+
+    def home_node(self, line: int) -> int:
+        """The mesh node homing this line's directory entry (hashed)."""
+        return line % self._num_nodes
+
+    def _line(self, line: int) -> _Line:
+        entry = self._lines.get(line)
+        if entry is None:
+            entry = _Line(self.sim)
+            self._lines[line] = entry
+        return entry
+
+    # -- raw value access (zero-cost; for setup and invariant checks) ------
+    def peek(self, addr: int) -> int:
+        return self.store_backing.read(addr)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Initialize memory outside simulated time (setup only)."""
+        self.store_backing.write(addr, value)
+
+    def alloc(self, nwords: int, *, isolated: bool = False) -> int:
+        return self.allocator.alloc(nwords, isolated=isolated)
+
+    # -- private-memory discipline (message-passing-only profiles) ---------
+    def _private_check(self, core: Core, line_no: int, what: str) -> None:
+        owner = self._private_owner.setdefault(line_no, core.cid)
+        if owner != core.cid:
+            raise RuntimeError(
+                f"no coherent shared memory on {self.cfg.name!r}: line "
+                f"{line_no} is private to core {owner}, but core "
+                f"{core.cid} issued a {what}; use message passing instead"
+            )
+
+    # -- core operations (generators; drive with ``yield from``) -----------
+    def load(self, core: Core, addr: int) -> Generator[Any, Any, int]:
+        """Coherent 64-bit load; returns the value."""
+        core.loads += 1
+        if not self.cfg.has_coherent_shm:
+            self._private_check(core, self.line_of(addr), "load")
+            core.busy += self.cfg.c_hit
+            yield self.cfg.c_hit
+            return self.store_backing.read(addr)
+        line_no = self.line_of(addr)
+        entry = self._lines.get(line_no)
+        cid = core.cid
+        # join an in-flight prefetch for this line, if any (MSHR hit):
+        # stall only for the remaining transfer time
+        pending = self._prefetches.get((cid, line_no))
+        if pending is not None and not pending.triggered:
+            t0 = self.sim.now
+            yield pending
+            core.stall_mem += self.sim.now - t0
+            entry = self._lines.get(line_no)
+        if entry is not None and (entry.owner == cid or cid in entry.sharers):
+            # cache hit
+            core.busy += self.cfg.c_hit
+            yield self.cfg.c_hit
+            return self.store_backing.read(addr)
+        # miss: RMR
+        entry = self._line(line_no)
+        core.rmr += 1
+        t0 = self.sim.now
+        yield from entry.res.acquire()
+        try:
+            # recheck: an own in-flight store transaction queued ahead of
+            # us may have taken ownership while we waited
+            if entry.owner == cid or cid in entry.sharers:
+                latency = occupancy = 0
+            else:
+                latency = self._load_latency(entry, line_no, cid)
+                # The directory orders the read and answers quickly; the
+                # data transfer itself is pipelined, so the read holds
+                # the entry only briefly and concurrent readers do not
+                # serialize for the full transfer.
+                occupancy = min(self.cfg.c_dir_read_occupancy, latency)
+                if occupancy:
+                    yield occupancy
+                # downgrade an owner, install as sharer
+                if entry.owner is not None and entry.owner != cid:
+                    entry.sharers.add(entry.owner)
+                    entry.owner = None
+                entry.sharers.add(cid)
+        finally:
+            entry.res.release()
+        remainder = latency - occupancy
+        if remainder > 0:
+            yield remainder
+        # the value is observed when the data arrives -- reading it at
+        # completion (not at the ordering point) keeps the load's result
+        # consistent with any wakeup notifications fired in between
+        value = self.store_backing.read(addr)
+        core.stall_mem += self.sim.now - t0
+        self._check_swmr(entry)
+        return value
+
+    def prefetch(self, core: Core, addr: int) -> Generator[Any, Any, None]:
+        """Start fetching a line in the background (software prefetch).
+
+        Costs one issue cycle and never stalls.  A later ``load`` of the
+        same line joins the in-flight fetch (paying only the remaining
+        transfer time), which is how the servicing loops overlap the
+        next request's RMR with the current critical section -- the
+        paper's explanation for Figure 4c's shrinking overhead.
+        """
+        core.busy += 1
+        yield 1
+        if not self.cfg.has_coherent_shm:
+            return  # private memory is always local; nothing to fetch
+        line_no = self.line_of(addr)
+        entry = self._lines.get(line_no)
+        cid = core.cid
+        if entry is not None and (entry.owner == cid or cid in entry.sharers):
+            return  # already cached
+        if (cid, line_no) in self._prefetches:
+            return  # already in flight
+        done = Event(self.sim)
+        self._prefetches[(cid, line_no)] = done
+        self.sim.spawn(self._prefetch_txn(core, line_no, cid, done),
+                       name=f"prefetch-c{cid}-l{line_no}")
+
+    def _prefetch_txn(self, core: Core, line_no: int, cid: int, done) -> Generator:
+        entry = self._line(line_no)
+        yield from entry.res.acquire()
+        try:
+            if entry.owner == cid or cid in entry.sharers:
+                latency = occupancy = 0
+            else:
+                latency = self._load_latency(entry, line_no, cid)
+                occupancy = min(self.cfg.c_dir_read_occupancy, latency)
+                if occupancy:
+                    yield occupancy
+                if entry.owner is not None and entry.owner != cid:
+                    entry.sharers.add(entry.owner)
+                    entry.owner = None
+                entry.sharers.add(cid)
+        finally:
+            entry.res.release()
+        remainder = latency - occupancy
+        if remainder > 0:
+            yield remainder
+        del self._prefetches[(cid, line_no)]
+        done.trigger()
+
+    def _load_latency(self, entry: _Line, line_no: int, cid: int) -> int:
+        cfg = self.cfg
+        mesh = self.mesh
+        node = self.cores[cid].node
+        home = self.home_node(line_no)
+        if entry.owner is not None and entry.owner != cid:
+            # 3-hop: requester -> home -> owner -> requester
+            owner_node = self.cores[entry.owner].node
+            hops = mesh.hops(node, home) + mesh.hops(home, owner_node) + mesh.hops(owner_node, node)
+            return cfg.c_remote_base + cfg.noc_per_hop * hops
+        if entry.sharers:
+            # clean copy at home/L3
+            return cfg.c_remote_base + cfg.noc_per_hop * 2 * mesh.hops(node, home)
+        # from memory
+        return cfg.c_mem_base + cfg.noc_per_hop * 2 * mesh.hops(node, home)
+
+    def store(self, core: Core, addr: int, value: int) -> Generator[Any, Any, None]:
+        """Coherent 64-bit store through a one-entry merging store buffer.
+
+        A store hit in an owned line is immediate.  A store miss issues
+        in one cycle, commits its value, and drains in the background
+        (the ownership transaction runs as a separate simulator
+        process); the core only stalls when the buffer is still draining
+        a *different* line -- further stores to the draining line merge
+        for free.  This is what lets a servicing thread's response write
+        (W(i) of Figure 1) overlap the next critical section, and what a
+        fence has to wait for.
+        """
+        core.stores += 1
+        line_no = self.line_of(addr)
+        if not self.cfg.has_coherent_shm:
+            self._private_check(core, line_no, "store")
+            core.busy += self.cfg.c_hit
+            yield self.cfg.c_hit
+            self.store_backing.write(addr, value)
+            self._line(line_no).cond.notify_all()  # wake same-core siblings
+            return
+        entry = self._lines.get(line_no)
+        cid = core.cid
+        if entry is not None and entry.owner == cid:
+            # write hit in M
+            core.busy += self.cfg.c_hit
+            yield self.cfg.c_hit
+            self.store_backing.write(addr, value)
+            entry.cond.notify_all()
+            return
+        while True:
+            pending = self._sb_event.get(cid)
+            if pending is None or pending.triggered:
+                break
+            if self._sb_line.get(cid) == line_no:
+                # merge into the draining entry (its transaction will
+                # publish this value's visibility when it completes)
+                core.busy += self.cfg.c_hit
+                yield self.cfg.c_hit
+                self.store_backing.write(addr, value)
+                return
+            # buffer full with another line: wait for the drain, then
+            # re-check -- an oversubscribed sibling thread sharing this
+            # core may have refilled the buffer in the meantime
+            t0 = self.sim.now
+            yield pending
+            core.stall_mem += self.sim.now - t0
+        entry = self._line(line_no)
+        core.rmr += 1
+        core.busy += self.cfg.c_hit
+        yield self.cfg.c_hit
+        self.store_backing.write(addr, value)
+        done = Event(self.sim)
+        self._sb_line[cid] = line_no
+        self._sb_event[cid] = done
+        self.sim.spawn(self._store_txn(entry, line_no, cid, done),
+                       name=f"store-txn-c{cid}-l{line_no}")
+
+    def _store_txn(self, entry: _Line, line_no: int, cid: int, done) -> Generator:
+        """Background ownership acquisition for a buffered store miss."""
+        yield from entry.res.acquire()
+        try:
+            if entry.owner != cid:
+                latency = self._store_latency(entry, line_no, cid)
+                if latency:
+                    yield latency
+                entry.sharers.clear()
+                entry.owner = cid
+        finally:
+            entry.res.release()
+        done.trigger()
+        entry.cond.notify_all()
+        self._check_swmr(entry)
+
+    def drain_store_buffer(self, core: Core) -> Generator[Any, Any, None]:
+        """Block until the core's store buffer is empty (fence helper)."""
+        pending = self._sb_event.get(core.cid)
+        if pending is not None and not pending.triggered:
+            t0 = self.sim.now
+            yield pending
+            core.stall_fence += self.sim.now - t0
+
+    def _store_latency(self, entry: _Line, line_no: int, cid: int) -> int:
+        cfg = self.cfg
+        mesh = self.mesh
+        node = self.cores[cid].node
+        home = self.home_node(line_no)
+        if entry.owner is not None and entry.owner != cid:
+            owner_node = self.cores[entry.owner].node
+            hops = mesh.hops(node, home) + mesh.hops(home, owner_node) + mesh.hops(owner_node, node)
+            return cfg.c_remote_base + cfg.noc_per_hop * hops
+        if entry.sharers - {cid}:
+            # invalidate sharers: round trip to home + farthest sharer ack
+            far = max(mesh.hops(home, self.cores[s].node) for s in entry.sharers if s != cid)
+            return cfg.c_remote_base + cfg.noc_per_hop * (2 * mesh.hops(node, home) + far)
+        if cid in entry.sharers:
+            # upgrade S -> M: permission round trip to home only
+            return cfg.c_remote_base + cfg.noc_per_hop * 2 * mesh.hops(node, home)
+        return cfg.c_mem_base + cfg.noc_per_hop * 2 * mesh.hops(node, home)
+
+    def fence(self, core: Core) -> Generator[Any, Any, None]:
+        """Memory fence: fixed pipeline cost plus a store-buffer drain."""
+        if not self.cfg.has_coherent_shm:
+            core.stall_fence += self.cfg.c_fence
+            yield self.cfg.c_fence
+            return
+        c = self.cfg.c_fence
+        core.stall_fence += c
+        yield c
+        yield from self.drain_store_buffer(core)
+
+    def spin_until(
+        self, core: Core, addr: int, pred: Callable[[int], bool]
+    ) -> Generator[Any, Any, int]:
+        """Local spinning: block until ``pred(value_at(addr))`` holds.
+
+        Charges one load (possibly an RMR) up front, then sleeps until a
+        writer invalidates the line, re-fetches (another RMR) and
+        re-checks.  Time asleep counts as ``wait`` (the core is polling
+        its own cache -- no interconnect traffic, no stall).
+        """
+        value = yield from self.load(core, addr)
+        while not pred(value):
+            entry = self._line(self.line_of(addr))
+            t0 = self.sim.now
+            yield from entry.cond.wait()
+            core.wait += self.sim.now - t0
+            value = yield from self.load(core, addr)
+        return value
+
+    # -- atomics (delegated to the attached executor) -----------------------
+    def faa(self, core: Core, addr: int, delta: int) -> Generator[Any, Any, int]:
+        """Fetch-and-add; returns the previous value."""
+        core.faa_ops += 1
+        old = yield from self.atomics.rmw(core, addr, lambda v: (v + delta) & WORD_MASK)
+        return old
+
+    def swap(self, core: Core, addr: int, value: int) -> Generator[Any, Any, int]:
+        """Atomic exchange; returns the previous value."""
+        core.swap_ops += 1
+        old = yield from self.atomics.rmw(core, addr, lambda v: value & WORD_MASK)
+        return old
+
+    def cas(self, core: Core, addr: int, expected: int, new: int) -> Generator[Any, Any, bool]:
+        """Compare-and-set; returns True on success (the boolean variant)."""
+        core.cas_ops += 1
+        box = {}
+
+        def op(v: int) -> int:
+            if v == (expected & WORD_MASK):
+                box["ok"] = True
+                return new & WORD_MASK
+            box["ok"] = False
+            return v
+
+        yield from self.atomics.rmw(core, addr, op)
+        if not box["ok"]:
+            core.cas_failures += 1
+        return box["ok"]
+
+    # -- hooks used by the atomics executor ---------------------------------
+    def invalidate_all(self, line_no: int) -> None:
+        """Drop every cached copy of a line (atomic executed remotely)."""
+        entry = self._lines.get(line_no)
+        if entry is not None:
+            entry.owner = None
+            entry.sharers.clear()
+            entry.cond.notify_all()
+
+    def wake_line(self, line_no: int) -> None:
+        entry = self._lines.get(line_no)
+        if entry is not None:
+            entry.cond.notify_all()
+
+    def line_resource(self, line_no: int) -> Resource:
+        return self._line(line_no).res
+
+    def cached_state(self, cid: int, addr: int) -> Optional[str]:
+        """This core's state for the line of ``addr`` (None = Invalid)."""
+        entry = self._lines.get(self.line_of(addr))
+        if entry is None:
+            return None
+        if entry.owner == cid:
+            return LineState.M
+        if cid in entry.sharers:
+            return LineState.S
+        return None
+
+    # -- invariants ----------------------------------------------------------
+    def _check_swmr(self, entry: _Line) -> None:
+        if self.cfg.debug_checks:
+            assert not (entry.owner is not None and entry.sharers), (
+                "SWMR violated: owner and sharers coexist"
+            )
+
+    def check_all_swmr(self) -> None:
+        """Assert the SWMR invariant over every line (test hook)."""
+        for line_no, entry in self._lines.items():
+            assert not (entry.owner is not None and entry.sharers), (
+                f"SWMR violated on line {line_no}: owner={entry.owner}, sharers={entry.sharers}"
+            )

@@ -1,0 +1,16 @@
+"""Network-on-chip model: 2D mesh topology, XY routing, latency/contention.
+
+The TILE-Gx routes both cache-coherence traffic and User Dynamic Network
+(UDN) messages over a 2D mesh.  This package provides:
+
+* :class:`~repro.noc.topology.Mesh` -- node coordinates, XY routes, hop
+  distances, and the analytic latency model used by default.
+* :class:`~repro.noc.router.ContendedMesh` -- an optional heavier model
+  where packets occupy per-link FIFO resources hop by hop, for ablation
+  studies of link contention.
+"""
+
+from repro.noc.topology import Mesh
+from repro.noc.router import ContendedMesh
+
+__all__ = ["Mesh", "ContendedMesh"]

@@ -1,0 +1,55 @@
+"""Linearizable concurrent objects (Section 5 of the paper).
+
+Objects built on a :class:`~repro.core.api.SyncPrimitive` (any of the
+four approaches):
+
+* :class:`~repro.objects.counter.LockedCounter` -- the Section 5.3
+  microbenchmark object (fetch-and-increment).
+* :class:`~repro.objects.counter.ArrayCS` -- the variable-length CS of
+  Figure 4c (increment ``k`` array elements per operation).
+* :class:`~repro.objects.msqueue.OneLockMSQueue` /
+  :class:`~repro.objects.msqueue.TwoLockMSQueue` -- Michael & Scott's
+  blocking queue [21] with a single coarse CS or the classic two-lock
+  split (head lock + tail lock, fences included as the TILE-Gx
+  requires).
+* :class:`~repro.objects.stack.LockedStack` -- sequential linked stack
+  under one CS.
+
+Extension (Section 5.4 mentions elimination as orthogonal; we provide
+it as an optional front-end):
+
+* :class:`~repro.objects.elimination.EliminationStack` -- an elimination
+  array backed by any of the stacks above.
+
+Direct (non-delegated) nonblocking baselines:
+
+* :class:`~repro.objects.lcrq.LCRQ` -- Morrison & Afek's queue [22], as
+  ported by the paper to the TILE-Gx (32-bit values via 64-bit CAS, BTAS
+  replaced by a CAS loop).
+* :class:`~repro.objects.treiber.TreiberStack` -- Treiber's stack [28].
+
+All store 64-bit values (LCRQ: 32-bit, per the paper's port) and are
+exercised by the workload drivers of :mod:`repro.workload`.
+"""
+
+from repro.objects.base import EMPTY
+from repro.objects.counter import ArrayCS, LockedCounter
+from repro.objects.elimination import EliminationStack
+from repro.objects.lcrq import LCRQ
+from repro.objects.msqueue import OneLockMSQueue, TwoLockMSQueue
+from repro.objects.pool import NodePool
+from repro.objects.stack import LockedStack
+from repro.objects.treiber import TreiberStack
+
+__all__ = [
+    "EMPTY",
+    "ArrayCS",
+    "EliminationStack",
+    "LCRQ",
+    "LockedCounter",
+    "LockedStack",
+    "NodePool",
+    "OneLockMSQueue",
+    "TreiberStack",
+    "TwoLockMSQueue",
+]

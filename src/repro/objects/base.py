@@ -1,0 +1,5 @@
+"""Shared constants for the concurrent objects."""
+
+#: sentinel returned by dequeue/pop on an empty container.  Matches the
+#: all-ones 64-bit word, so user values must stay below 2^64 - 1.
+EMPTY = (1 << 64) - 1

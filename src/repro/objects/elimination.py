@@ -1,0 +1,112 @@
+"""Elimination front-end for stacks (Section 5.4's orthogonal technique).
+
+"One way to obviate its seemingly inherent sequential nature is to use
+the elimination technique: if a push and pop operation are executed
+concurrently, they can be eliminated to avoid accessing the stack. ...
+we evaluate the performance of a non-elimination concurrent stack
+(which, of course, can be used to back up an elimination-based stack)."
+
+This module provides that backing arrangement as an extension: an
+elimination array in coherent shared memory in front of *any* stack
+exposing ``push``/``pop``.  A pusher parks its value in a random slot
+for a short window; a concurrent popper claims it with CAS and both
+finish without touching the stack.  On timeout (or a lost race) the
+operation falls through to the backing stack.
+
+Slot encoding (one 64-bit word per slot, each on its own line):
+
+* ``0``                     -- empty
+* ``PARKED | value``        -- a pusher is waiting (value < 2^32)
+* ``TAKEN``                 -- a popper claimed the parked value
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+import numpy as np
+
+from repro.machine.machine import Machine, ThreadCtx
+from repro.objects.base import EMPTY
+
+__all__ = ["EliminationStack"]
+
+PARKED = 1 << 62
+TAKEN = 1 << 61
+_VALUE_MASK = (1 << 32) - 1
+
+
+class EliminationStack:
+    """Elimination array in front of a backing stack."""
+
+    MAX_VALUE = _VALUE_MASK
+
+    def __init__(self, machine: Machine, backing, num_slots: int = 4,
+                 window_cycles: int = 80, seed: int = 12345):
+        if num_slots < 1:
+            raise ValueError("need at least one elimination slot")
+        if window_cycles < 1:
+            raise ValueError("window must be positive")
+        self.machine = machine
+        self.backing = backing
+        self.window_cycles = window_cycles
+        self.slots: List[int] = [
+            machine.mem.alloc(1, isolated=True) for _ in range(num_slots)
+        ]
+        self._rng = np.random.default_rng(seed)
+        #: operations completed via elimination (pairs count twice)
+        self.eliminated = 0
+        #: operations that fell through to the backing stack
+        self.fell_through = 0
+
+    def _pick_slot(self) -> int:
+        return self.slots[int(self._rng.integers(0, len(self.slots)))]
+
+    def push(self, ctx: ThreadCtx, value: int) -> Generator[Any, Any, None]:
+        if not (0 <= value <= self.MAX_VALUE):
+            raise ValueError("elimination slots carry 32-bit values")
+        slot = self._pick_slot()
+        c = yield from ctx.load(slot)
+        if c == 0:
+            ok = yield from ctx.cas(slot, 0, PARKED | value)
+            if ok:
+                yield from ctx.work(self.window_cycles)  # the exchange window
+                c2 = yield from ctx.load(slot)
+                if c2 == TAKEN:
+                    yield from ctx.store(slot, 0)
+                    self.eliminated += 1
+                    return
+                ok = yield from ctx.cas(slot, PARKED | value, 0)
+                if not ok:
+                    # a popper claimed it between our load and the CAS
+                    yield from ctx.store(slot, 0)
+                    self.eliminated += 1
+                    return
+        self.fell_through += 1
+        yield from self.backing.push(ctx, value)
+
+    def pop(self, ctx: ThreadCtx) -> Generator[Any, Any, int]:
+        slot = self._pick_slot()
+        c = yield from ctx.load(slot)
+        if c & PARKED:
+            ok = yield from ctx.cas(slot, c, TAKEN)
+            if ok:
+                self.eliminated += 1
+                return c & _VALUE_MASK
+        self.fell_through += 1
+        return (yield from self.backing.pop(ctx))
+
+    @property
+    def elimination_rate(self) -> float:
+        total = self.eliminated + self.fell_through
+        return self.eliminated / total if total else 0.0
+
+    def drain_to_list(self) -> list:
+        """Backing-stack contents plus any values still parked."""
+        out = list(self.backing.drain_to_list())
+        mem = self.machine.mem
+        for slot in self.slots:
+            c = mem.peek(slot)
+            if c & PARKED:
+                out.append(c & _VALUE_MASK)
+        return out

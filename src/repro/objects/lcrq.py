@@ -1,0 +1,223 @@
+"""LCRQ -- Morrison & Afek's nonblocking FIFO queue [22], as ported by
+the paper to the TILE-Gx (Section 5.4).
+
+LCRQ is a linked list of CRQs (concurrent ring queues).  Within a CRQ,
+enqueuers FAA a tail index and dequeuers FAA a head index; each index
+maps to a ring cell that the winner claims with CAS.  When a ring
+overflows (or an enqueuer starves), the ring is *closed* and a new CRQ
+is appended.
+
+The paper's porting notes, which we follow exactly:
+
+* "the lacking bitwise test-and-set (BTAS) was replaced with a simple
+  CAS loop" -- closing a ring here is a CAS loop on the tail word's
+  CLOSED bit;
+* "for lack of the 128-bit CAS (CAS2), we modified LCRQ to store 32-bit
+  values, and used a 64-bit CAS" -- a cell packs ``(index << 32 | value)``
+  into one 64-bit word, so values must fit in 31 bits (the upper
+  value bit is reserved to distinguish the EMPTY32 marker).
+
+Why it matters for the evaluation: every operation executes several
+atomic instructions, and on the TILE-Gx those all serialize at the two
+memory controllers -- the "false serialization" that makes LCRQ level
+off early in Figure 5a despite its excellent x86 performance.
+
+Cell encoding: ``cell = (idx << 32) | val`` where ``val == EMPTY32``
+marks an empty cell awaiting round ``idx``; otherwise the cell holds
+``val`` enqueued with index ``idx``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.machine.machine import Machine, ThreadCtx
+from repro.objects.base import EMPTY
+
+__all__ = ["LCRQ"]
+
+#: in-cell empty marker (32-bit all-ones)
+EMPTY32 = (1 << 32) - 1
+#: closed bit on the CRQ tail word
+CLOSED = 1 << 62
+
+# CRQ header layout: head / tail / next each sit on their own cache
+# line, as in the reference implementation (padding avoids false sharing
+# between the enqueuer and dequeuer index streams -- and keeps the two
+# FAA streams from sharing a memory controller's hot line).  Offsets are
+# derived from the machine's line size at construction time.
+
+
+def _pack(idx: int, val: int) -> int:
+    return ((idx & 0xFFFFFFFF) << 32) | (val & 0xFFFFFFFF)
+
+
+def _unpack(cell: int):
+    return cell >> 32, cell & 0xFFFFFFFF
+
+
+class LCRQ:
+    """Linked list of concurrent ring queues (32-bit values)."""
+
+    #: values must fit below the EMPTY32 marker
+    MAX_VALUE = EMPTY32 - 1
+
+    def __init__(self, machine: Machine, ring_size: int = 64,
+                 starvation_limit: int = 8):
+        if ring_size < 2:
+            raise ValueError("ring_size must be >= 2")
+        self.machine = machine
+        self.ring_size = ring_size
+        #: failed install attempts before an enqueuer closes the ring
+        self.starvation_limit = starvation_limit
+        lw = machine.cfg.line_words
+        self._HEAD = 0
+        self._TAIL = lw
+        self._NEXT = 2 * lw
+        self._RING = 3 * lw
+        first = self._new_crq()
+        mem = machine.mem
+        self.q_head_addr = mem.alloc(1, isolated=True)
+        self.q_tail_addr = mem.alloc(1, isolated=True)
+        mem.poke(self.q_head_addr, first)
+        mem.poke(self.q_tail_addr, first)
+        #: rings appended over the run (stats)
+        self.crqs_allocated = 1
+
+    def _new_crq(self, seed_value: int | None = None) -> int:
+        """Allocate and initialize a CRQ outside simulated time (node
+        preparation happens thread-locally; only the publish is shared)."""
+        mem = self.machine.mem
+        crq = mem.alloc(self._RING + self.ring_size, isolated=True)
+        for i in range(self.ring_size):
+            mem.poke(crq + self._RING + i, _pack(i, EMPTY32))
+        if seed_value is not None:
+            mem.poke(crq + self._RING, _pack(0, seed_value))
+            mem.poke(crq + self._TAIL, 1)
+        return crq
+
+    # -- CRQ-level operations ---------------------------------------------
+    def _crq_close(self, ctx: ThreadCtx, crq: int) -> Generator[Any, Any, None]:
+        """Set the CLOSED bit on the tail (the paper's CAS-loop port of BTAS)."""
+        while True:
+            t = yield from ctx.load(crq + self._TAIL)
+            if t & CLOSED:
+                return
+            ok = yield from ctx.cas(crq + self._TAIL, t, t | CLOSED)
+            if ok:
+                return
+
+    def _crq_enqueue(self, ctx: ThreadCtx, crq: int, value: int) -> Generator[Any, Any, bool]:
+        """Try to enqueue into this ring; False means the ring is closed."""
+        r = self.ring_size
+        attempts = 0
+        while True:
+            t = yield from ctx.faa(crq + self._TAIL, 1)
+            if t & CLOSED:
+                return False
+            cell_addr = crq + self._RING + (t % r)
+            cell = yield from ctx.load(cell_addr)
+            cidx, cval = _unpack(cell)
+            if cval == EMPTY32 and cidx <= t:
+                ok = yield from ctx.cas(cell_addr, cell, _pack(t, value))
+                if ok:
+                    return True
+            # install failed: cell already skipped by a dequeuer, or stale
+            attempts += 1
+            h = yield from ctx.load(crq + self._HEAD)
+            if t - h >= r or attempts >= self.starvation_limit:
+                yield from self._crq_close(ctx, crq)
+                return False
+
+    def _crq_dequeue(self, ctx: ThreadCtx, crq: int) -> Generator[Any, Any, int]:
+        """Dequeue from this ring; EMPTY means it has nothing (for now)."""
+        r = self.ring_size
+        while True:
+            h = yield from ctx.faa(crq + self._HEAD, 1)
+            cell_addr = crq + self._RING + (h % r)
+            while True:
+                cell = yield from ctx.load(cell_addr)
+                cidx, cval = _unpack(cell)
+                if cval != EMPTY32:
+                    if cidx == h:
+                        # claim the value; re-arm the cell for round h + r
+                        ok = yield from ctx.cas(cell_addr, cell, _pack(h + r, EMPTY32))
+                        if ok:
+                            return cval
+                        continue  # racing claim: re-read
+                    # value belongs to a later round: our index was lost;
+                    # fall through to the emptiness check
+                    break
+                # empty cell: mark our round as skipped so a slow enqueuer
+                # with index h cannot install into the past
+                ok = yield from ctx.cas(cell_addr, cell, _pack(h + r, EMPTY32))
+                if ok:
+                    break
+            t = yield from ctx.load(crq + self._TAIL)
+            if (t & ~CLOSED) <= h + 1:
+                yield from self._fix_state(ctx, crq)
+                return EMPTY
+
+    def _fix_state(self, ctx: ThreadCtx, crq: int) -> Generator[Any, Any, None]:
+        """Repair head > tail overshoot after empty dequeues (fixState)."""
+        while True:
+            h = yield from ctx.load(crq + self._HEAD)
+            t = yield from ctx.load(crq + self._TAIL)
+            if t & CLOSED or (t & ~CLOSED) >= h:
+                return
+            ok = yield from ctx.cas(crq + self._TAIL, t, h)
+            if ok:
+                return
+
+    # -- public queue interface -----------------------------------------------
+    def enqueue(self, ctx: ThreadCtx, value: int) -> Generator[Any, Any, None]:
+        if not (0 <= value <= self.MAX_VALUE):
+            raise ValueError(f"LCRQ stores 32-bit values; got {value}")
+        while True:
+            crq = yield from ctx.load(self.q_tail_addr)
+            nxt = yield from ctx.load(crq + self._NEXT)
+            if nxt != 0:
+                # help swing the queue tail to the newest ring
+                yield from ctx.cas(self.q_tail_addr, crq, nxt)
+                continue
+            ok = yield from self._crq_enqueue(ctx, crq, value)
+            if ok:
+                return
+            # ring closed: append a fresh ring seeded with our value
+            new_crq = self._new_crq(seed_value=value)
+            self.crqs_allocated += 1
+            yield from ctx.work(4)  # local ring initialization cost
+            ok = yield from ctx.cas(crq + self._NEXT, 0, new_crq)
+            if ok:
+                yield from ctx.cas(self.q_tail_addr, crq, new_crq)
+                return
+            # someone else appended first; retry on their ring
+
+    def dequeue(self, ctx: ThreadCtx) -> Generator[Any, Any, int]:
+        """Returns the oldest value, or EMPTY."""
+        while True:
+            crq = yield from ctx.load(self.q_head_addr)
+            v = yield from self._crq_dequeue(ctx, crq)
+            if v != EMPTY:
+                return v
+            nxt = yield from ctx.load(crq + self._NEXT)
+            if nxt == 0:
+                return EMPTY
+            # this ring is exhausted and has a successor: advance the head
+            yield from ctx.cas(self.q_head_addr, crq, nxt)
+
+    # -- debug ---------------------------------------------------------------
+    def drain_to_list(self) -> List[int]:
+        """Best-effort contents, head ring to tail ring (debug only)."""
+        mem = self.machine.mem
+        out = []
+        crq = mem.peek(self.q_head_addr)
+        while crq != 0:
+            h = mem.peek(crq + self._HEAD)
+            t = mem.peek(crq + self._TAIL) & ~CLOSED
+            for idx in range(h, t):
+                cidx, cval = _unpack(mem.peek(crq + self._RING + idx % self.ring_size))
+                if cval != EMPTY32 and cidx == idx:
+                    out.append(cval)
+            crq = mem.peek(crq + self._NEXT)
+        return out

@@ -1,0 +1,55 @@
+"""Node pools for the linked concurrent objects.
+
+The paper's C implementations preallocate and recycle list nodes from
+per-thread pools, so node management never touches a shared allocator
+and never appears as coherence traffic in the measurements.  We model
+the same: ``alloc``/``free`` charge a small constant of local busy work
+(pointer bump / freelist push), while the *node memory itself* lives in
+the simulated address space so every access to node fields goes through
+the coherence protocol.
+
+``recycle=False`` disables reuse -- needed for Treiber's stack, where
+recycling a node while another thread still holds a stale pointer to it
+would expose the classic ABA problem (real implementations use counted
+pointers or hazard pointers; we simply do not recycle, which has the
+same cost profile for our finite runs and is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.machine.machine import Machine, ThreadCtx
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """Recycling allocator of fixed-size node blocks in simulated memory."""
+
+    def __init__(self, machine: Machine, node_words: int, *, alloc_cost: int = 3,
+                 recycle: bool = True, isolate_nodes: bool = True):
+        if node_words < 1:
+            raise ValueError("node_words must be >= 1")
+        self.machine = machine
+        self.node_words = node_words
+        self.alloc_cost = alloc_cost
+        self.recycle = recycle
+        self.isolate_nodes = isolate_nodes
+        self._free: List[int] = []
+        #: total nodes ever carved from the address space (stats)
+        self.total_allocated = 0
+
+    def alloc(self, ctx: ThreadCtx) -> Generator[Any, Any, int]:
+        """Get a node; charges a constant of local work."""
+        yield from ctx.work(self.alloc_cost)
+        if self._free:
+            return self._free.pop()
+        self.total_allocated += 1
+        return self.machine.mem.alloc(self.node_words, isolated=self.isolate_nodes)
+
+    def free(self, ctx: ThreadCtx, addr: int) -> Generator[Any, Any, None]:
+        """Return a node to the pool (no-op when recycling is off)."""
+        yield from ctx.work(1)
+        if self.recycle:
+            self._free.append(addr)

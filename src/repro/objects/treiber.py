@@ -1,0 +1,69 @@
+"""Treiber's nonblocking stack [28] (the Figure 5b baseline).
+
+Push and pop CAS the shared top pointer directly from the calling
+thread.  "The head of the stack is accessed using CAS.  This causes
+growing contention as concurrency increases, as most CAS operations
+repeatedly fail" (Section 5.4) -- on the simulated TILE-Gx every retry
+is another round trip to a memory controller, so the degradation is
+even more pronounced than the line-bouncing story on x86.
+
+ABA note: nodes are *not* recycled (``NodePool(recycle=False)``).  Real
+deployments need counted pointers or hazard pointers to make recycling
+safe; eliding reuse gives the same cost profile for finite runs without
+modelling an ABA-safe reclamation scheme (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.machine import Machine, ThreadCtx
+from repro.objects.base import EMPTY
+from repro.objects.pool import NodePool
+
+__all__ = ["TreiberStack"]
+
+_VALUE = 0
+_NEXT = 1
+
+
+class TreiberStack:
+    """The lock-free stack: CAS on the top pointer with retry."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.pool = NodePool(machine, node_words=2, recycle=False)
+        self.top_addr = machine.mem.alloc(1, isolated=True)
+
+    def push(self, ctx: ThreadCtx, value: int) -> Generator[Any, Any, None]:
+        node = yield from self.pool.alloc(ctx)
+        yield from ctx.store(node + _VALUE, value)
+        while True:
+            top = yield from ctx.load(self.top_addr)
+            yield from ctx.store(node + _NEXT, top)
+            yield from ctx.fence()  # publish node contents before the CAS
+            ok = yield from ctx.cas(self.top_addr, top, node)
+            if ok:
+                return
+
+    def pop(self, ctx: ThreadCtx) -> Generator[Any, Any, int]:
+        """Returns the newest value, or EMPTY."""
+        while True:
+            top = yield from ctx.load(self.top_addr)
+            if top == 0:
+                return EMPTY
+            nxt = yield from ctx.load(top + _NEXT)
+            ok = yield from ctx.cas(self.top_addr, top, nxt)
+            if ok:
+                value = yield from ctx.load(top + _VALUE)
+                return value
+
+    def drain_to_list(self) -> list:
+        """Top-to-bottom contents, read outside simulated time."""
+        mem = self.machine.mem
+        out = []
+        node = mem.peek(self.top_addr)
+        while node != 0:
+            out.append(mem.peek(node + _VALUE))
+            node = mem.peek(node + _NEXT)
+        return out

@@ -1,0 +1,259 @@
+"""Core discrete-event simulation engine.
+
+The engine executes *processes* -- Python generators -- against a global
+clock measured in integer cycles.  A process interacts with the simulator
+exclusively through the values it yields:
+
+``yield n`` (a non-negative ``int``)
+    Suspend the process for ``n`` simulated cycles.
+
+``yield event`` (an :class:`Event`)
+    Suspend until the event is triggered; ``event.value`` is sent back
+    into the generator as the result of the ``yield`` expression.
+
+Composite behaviours (acquiring a resource, performing a cache-coherent
+load, receiving a hardware message, ...) are written as generators and
+invoked with ``yield from``, so the engine itself never needs to know
+about them.  This two-effect design keeps the trampoline small and fast,
+which matters: a single benchmark point simulates hundreds of thousands
+of events in pure Python.
+
+Determinism
+-----------
+Events scheduled for the same cycle fire in FIFO order of scheduling
+(ties broken by a monotonically increasing sequence number), so a given
+program produces the exact same execution every run.  All randomness in
+higher layers flows from seeded generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = ["Event", "Interrupt", "Process", "Simulator"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that is interrupted via :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot condition that processes can wait on.
+
+    An event starts un-triggered.  Any number of processes may wait on it
+    (by yielding it); when :meth:`trigger` is called, all waiters are
+    resumed at the current simulation time and receive ``value``.
+    Processes that yield an already-triggered event resume immediately
+    (zero-cycle delay) with the stored value.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Process] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter at the current cycle."""
+        if self.triggered:
+            raise RuntimeError("Event triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        schedule = self.sim._schedule_resume
+        for proc in waiters:
+            schedule(proc, value)
+
+    # -- engine internal -------------------------------------------------
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.sim._schedule_resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Process:
+    """A running generator inside the simulator.
+
+    Created via :meth:`Simulator.spawn`.  The generator's ``return``
+    value (carried by ``StopIteration``) becomes :attr:`result` and is
+    delivered to anything waiting on :meth:`join`.  An uncaught exception
+    in a process aborts the whole simulation run -- silent failures would
+    otherwise corrupt benchmark results.
+    """
+
+    __slots__ = ("sim", "gen", "name", "alive", "result", "_done_event", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "?"):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self._done_event = Event(sim)
+        self._waiting_on: Optional[Event] = None
+
+    def join(self) -> Generator[Any, Any, Any]:
+        """``yield from proc.join()`` waits for termination, returns its result."""
+        if self.alive:
+            yield self._done_event
+        return self.result
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current cycle.
+
+        Only valid while the process is blocked on an event (the normal
+        case for e.g. cancelling a blocked receive).  The interrupted
+        process is removed from the event's waiter list.
+        """
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self.sim._schedule_throw(self, Interrupt(cause))
+
+    # -- engine internal -------------------------------------------------
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self._done_event.trigger(result)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        proc = sim.spawn(my_generator())
+        sim.run()
+        print(sim.now, proc.result)
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_nevents", "max_events")
+
+    def __init__(self, max_events: Optional[int] = None):
+        self.now: int = 0
+        self._heap: List[Any] = []
+        self._seq: int = 0
+        self._nevents: int = 0
+        #: hard safety cap on processed events (None = unlimited)
+        self.max_events = max_events
+
+    # -- public API ------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        return self._nevents
+
+    def spawn(self, gen: Generator, name: str = "?") -> Process:
+        """Register ``gen`` as a process; it starts at the current cycle."""
+        proc = Process(self, gen, name)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def event(self) -> Event:
+        """Create a fresh (un-triggered) event bound to this simulator."""
+        return Event(self)
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> None:
+        """Run plain callback ``fn`` at absolute cycle ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        self._push(when, fn, None, _CALLBACK)
+
+    def call_after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run plain callback ``fn`` after ``delay`` cycles."""
+        self.call_at(self.now + delay, fn)
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Process events until the heap is empty or ``now`` passes ``until``.
+
+        With ``until`` given, the clock is left exactly at ``until`` when
+        the horizon is hit (events at later cycles stay queued and can be
+        processed by a subsequent :meth:`run` call).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        max_events = self.max_events
+        while heap:
+            when, _seq, proc, payload, kind = heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            pop(heap)
+            self.now = when
+            self._nevents += 1
+            if max_events is not None and self._nevents > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            if kind == _CALLBACK:
+                proc()  # proc slot holds the callable for callbacks
+                continue
+            self._step(proc, payload, kind)
+        if until is not None and self.now < until:
+            self.now = until
+
+    # -- internals ---------------------------------------------------------
+    def _push(self, when: int, proc: Any, payload: Any, kind: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, proc, payload, kind))
+
+    def _schedule_resume(self, proc: Process, value: Any, delay: int = 0) -> None:
+        self._push(self.now + delay, proc, value, _SEND)
+
+    def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        self._push(self.now, proc, exc, _THROW)
+
+    def _step(self, proc: Process, payload: Any, kind: int) -> None:
+        if not proc.alive:
+            return
+        proc._waiting_on = None
+        try:
+            if kind == _THROW:
+                effect = proc.gen.throw(payload)
+            else:
+                effect = proc.gen.send(payload)
+        except StopIteration as stop:
+            proc._finish(stop.value)
+            return
+        # Dispatch on the yielded effect.
+        if type(effect) is int:
+            self._schedule_resume(proc, None, effect)
+        elif isinstance(effect, Event):
+            proc._waiting_on = effect
+            effect._add_waiter(proc)
+        elif isinstance(effect, int):  # bools / numpy ints coerced
+            self._schedule_resume(proc, None, int(effect))
+        else:
+            raise TypeError(
+                f"process {proc.name!r} yielded unsupported effect {effect!r}; "
+                "yield an int (delay) or an Event"
+            )
+
+
+# Event kinds in the heap.
+_SEND = 0
+_THROW = 1
+_CALLBACK = 2
+
+
+def all_of(sim: Simulator, procs: Iterable[Process]) -> Generator[Any, Any, list]:
+    """``yield from all_of(sim, procs)`` -- wait for all, return results in order."""
+    results = []
+    for p in procs:
+        r = yield from p.join()
+        results.append(r)
+    return results

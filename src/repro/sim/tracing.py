@@ -1,0 +1,200 @@
+"""Execution tracing: record what simulated threads do, render timelines.
+
+Zero-overhead when unused: instead of instrumenting the hot paths of the
+memory/UDN models, a :class:`TracedCtx` *wraps* a
+:class:`~repro.machine.machine.ThreadCtx` and records an interval for
+every operation it forwards.  Algorithm code takes the wrapper
+transparently (same generator API), so any thread can be put under the
+microscope without touching the others.
+
+The recorded :class:`Trace` renders as an ASCII Gantt timeline
+(:func:`render_timeline`) -- one row per thread, one glyph category per
+operation kind -- which makes protocol behaviour (who stalls where, how
+the combiner pipelines) directly visible in a terminal.  See
+``examples/trace_anatomy.py``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+__all__ = ["Span", "Trace", "TracedCtx", "render_timeline"]
+
+#: glyph per operation category in the timeline
+GLYPHS = {
+    "load": "r",
+    "store": "w",
+    "faa": "A",
+    "swap": "A",
+    "cas": "A",
+    "fence": "F",
+    "prefetch": "p",
+    "spin": ".",
+    "send": "s",
+    "receive": "v",
+    "probe": "?",
+    "work": "#",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded operation interval on one thread."""
+
+    tid: int
+    kind: str
+    start: int
+    end: int
+    detail: Any = None
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class Trace:
+    """A collection of spans with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def add(self, tid: int, kind: str, start: int, end: int, detail: Any = None) -> None:
+        self.spans.append(Span(tid, kind, start, end, detail))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def for_thread(self, tid: int) -> List[Span]:
+        return [s for s in self.spans if s.tid == tid]
+
+    def by_kind(self) -> Dict[str, int]:
+        """Total cycles per operation kind (across all traced threads)."""
+        out: Dict[str, int] = {}
+        for s in self.spans:
+            out[s.kind] = out.get(s.kind, 0) + s.duration
+        return out
+
+    def window(self, start: int, end: int) -> "Trace":
+        t = Trace()
+        t.spans = [s for s in self.spans if s.end > start and s.start < end]
+        return t
+
+
+class TracedCtx:
+    """A recording proxy around a ThreadCtx (same generator API)."""
+
+    def __init__(self, ctx, trace: Trace):
+        self._ctx = ctx
+        self.trace = trace
+
+    # expose the identity attributes unchanged
+    @property
+    def tid(self):
+        return self._ctx.tid
+
+    @property
+    def core(self):
+        return self._ctx.core
+
+    @property
+    def machine(self):
+        return self._ctx.machine
+
+    def _span(self, kind: str, gen, detail: Any = None) -> Generator:
+        t0 = self._ctx.sim.now
+        result = yield from gen
+        self.trace.add(self._ctx.tid, kind, t0, self._ctx.sim.now, detail)
+        return result
+
+    # -- forwarded operations ------------------------------------------------
+    def work(self, cycles: int):
+        return self._span("work", self._ctx.work(cycles), cycles)
+
+    def load(self, addr: int):
+        return self._span("load", self._ctx.load(addr), addr)
+
+    def store(self, addr: int, value: int):
+        return self._span("store", self._ctx.store(addr, value), addr)
+
+    def faa(self, addr: int, delta: int):
+        return self._span("faa", self._ctx.faa(addr, delta), addr)
+
+    def swap(self, addr: int, value: int):
+        return self._span("swap", self._ctx.swap(addr, value), addr)
+
+    def cas(self, addr: int, expected: int, new: int):
+        return self._span("cas", self._ctx.cas(addr, expected, new), addr)
+
+    def fence(self):
+        return self._span("fence", self._ctx.fence())
+
+    def prefetch(self, addr: int):
+        return self._span("prefetch", self._ctx.prefetch(addr), addr)
+
+    def spin_until(self, addr: int, pred):
+        return self._span("spin", self._ctx.spin_until(addr, pred), addr)
+
+    def send(self, dst_tid: int, words):
+        return self._span("send", self._ctx.send(dst_tid, words), dst_tid)
+
+    def receive(self, k: int = 1):
+        return self._span("receive", self._ctx.receive(k), k)
+
+    def is_queue_empty(self):
+        return self._span("probe", self._ctx.is_queue_empty())
+
+
+def render_timeline(trace: Trace, *, start: Optional[int] = None,
+                    end: Optional[int] = None, width: int = 100,
+                    tids: Optional[Sequence[int]] = None) -> str:
+    """ASCII Gantt chart: one row per thread, one column per time bucket.
+
+    Each bucket shows the glyph of the operation occupying most of it
+    (idle buckets stay blank).  A legend and per-kind cycle totals
+    follow the chart.
+    """
+    if not trace.spans:
+        return "[empty trace]"
+    t_lo = min(s.start for s in trace.spans) if start is None else start
+    t_hi = max(s.end for s in trace.spans) if end is None else end
+    span_t = max(1, t_hi - t_lo)
+    bucket = max(1, span_t // width)
+    ncols = (span_t + bucket - 1) // bucket
+    all_tids = sorted({s.tid for s in trace.spans}) if tids is None else list(tids)
+
+    out = io.StringIO()
+    out.write(f"timeline: cycles {t_lo}..{t_hi}, one column = {bucket} cycles\n")
+    for tid in all_tids:
+        # per-bucket occupancy: kind -> cycles
+        occupancy: List[Dict[str, int]] = [dict() for _ in range(ncols)]
+        for s in trace.for_thread(tid):
+            lo = max(s.start, t_lo)
+            hi = min(s.end, t_hi)
+            if hi <= lo and s.start >= t_lo and s.start < t_hi:
+                lo, hi = s.start, s.start + 1  # zero-length op: 1-cycle dot
+            c0 = (lo - t_lo) // bucket
+            c1 = min(ncols - 1, (hi - 1 - t_lo) // bucket) if hi > lo else c0
+            for c in range(c0, c1 + 1):
+                b_lo = t_lo + c * bucket
+                b_hi = b_lo + bucket
+                overlap = min(hi, b_hi) - max(lo, b_lo)
+                if overlap > 0:
+                    occ = occupancy[c]
+                    occ[s.kind] = occ.get(s.kind, 0) + overlap
+        row = []
+        for occ in occupancy:
+            if not occ:
+                row.append(" ")
+            else:
+                kind = max(occ, key=occ.get)
+                row.append(GLYPHS.get(kind, "+"))
+        out.write(f"t{tid:<3d}|{''.join(row)}|\n")
+    out.write("legend: " + "  ".join(f"{g}={k}" for k, g in GLYPHS.items()) + "\n")
+    totals = trace.by_kind()
+    if totals:
+        top = sorted(totals.items(), key=lambda kv: -kv[1])
+        out.write("cycles by kind: " +
+                  ", ".join(f"{k}={v}" for k, v in top) + "\n")
+    return out.getvalue()

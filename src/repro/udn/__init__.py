@@ -1,0 +1,10 @@
+"""Hardware message passing (the TILE-Gx User Dynamic Network).
+
+See :mod:`repro.udn.udn` for the fabric model: per-core 4-way
+demultiplexed hardware FIFO buffers, asynchronous ``send`` with
+backpressure on overflow, blocking ``receive``, and ``is_queue_empty``.
+"""
+
+from repro.udn.udn import UdnFabric
+
+__all__ = ["UdnFabric"]

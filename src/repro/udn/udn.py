@@ -1,0 +1,205 @@
+"""The User Dynamic Network: per-core hardware message queues.
+
+Semantics follow Sections 2 and 5.1 of the paper precisely:
+
+* Each core owns a hardware message buffer of ``udn_buffer_words`` 64-bit
+  words (118 on the TILE-Gx), 4-way demultiplexed into independent FIFO
+  queues, so up to four threads can share a core and still have an
+  exclusive queue (oversubscription, Section 6).
+* ``send(dst, words)`` is **asynchronous**: the sender pays only a small
+  injection cost and continues; the words appear in the destination
+  queue after the mesh transit delay, *in order* (``v1 .. vn``).
+  Messages between the same (src, dst) pair never reorder.
+* Messages are never dropped.  If the destination buffer is full the
+  message backs up into the network and **the sender blocks** until
+  space frees (Section 5.1 / Section 6).  We model this by reserving
+  destination buffer space at send time; an unavailable reservation
+  blocks the sender on a per-destination-core condition.
+* ``receive(k)`` blocks until ``k`` words are available in the caller's
+  own queue and returns them; popping a non-empty local queue costs a
+  couple of cycles and **no coherence stalls** -- this locality is the
+  core of the paper's performance argument.
+* ``is_queue_empty()`` is a cheap local probe.
+
+Endpoints are *thread ids*; the fabric keeps the tid -> (core, demux
+queue) registration, mirroring the TILE-Gx requirement that a thread be
+pinned and registered to use the UDN.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.machine.config import MachineConfig
+from repro.machine.core import Core
+from repro.noc.topology import Mesh
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Condition
+
+__all__ = ["UdnFabric"]
+
+
+class _CoreBuffer:
+    """The hardware message buffer of one core (shared by its demux queues)."""
+
+    __slots__ = ("free_words", "space_cond")
+
+    def __init__(self, sim: Simulator, capacity: int):
+        self.free_words = capacity
+        self.space_cond = Condition(sim)
+
+
+class _Queue:
+    """One demultiplexed FIFO of 64-bit words."""
+
+    __slots__ = ("words", "arrival_cond")
+
+    def __init__(self, sim: Simulator):
+        self.words: Deque[int] = deque()
+        self.arrival_cond = Condition(sim)
+
+
+class UdnFabric:
+    """All hardware message queues of the chip plus the transit network."""
+
+    def __init__(self, sim: Simulator, cfg: MachineConfig, mesh: Mesh, cores: List[Core],
+                 contended_mesh=None):
+        if not cfg.has_udn:
+            raise ValueError(f"machine profile {cfg.name!r} has no hardware message passing")
+        self.sim = sim
+        self.cfg = cfg
+        self.mesh = mesh
+        self.cores = cores
+        self.contended = contended_mesh  # optional ContendedMesh
+        self._buffers = [_CoreBuffer(sim, cfg.udn_buffer_words) for _ in cores]
+        self._queues = [
+            [_Queue(sim) for _ in range(cfg.udn_demux_queues)] for _ in cores
+        ]
+        # thread id -> (core id, demux queue index)
+        self._endpoints: Dict[int, Tuple[int, int]] = {}
+        #: total messages delivered (stats)
+        self.messages_delivered = 0
+        #: total cycles senders spent blocked on backpressure (stats)
+        self.backpressure_cycles = 0
+
+    # -- registration -------------------------------------------------------
+    def register(self, tid: int, core_id: int, demux: int = 0) -> None:
+        """Pin thread ``tid``'s receive endpoint to (core, demux queue)."""
+        if not (0 <= core_id < len(self.cores)):
+            raise ValueError(f"no core {core_id}")
+        if not (0 <= demux < self.cfg.udn_demux_queues):
+            raise ValueError(f"demux queue {demux} out of range")
+        for other_tid, (c, d) in self._endpoints.items():
+            if other_tid != tid and (c, d) == (core_id, demux):
+                raise ValueError(f"queue ({core_id},{demux}) already registered to thread {other_tid}")
+        self._endpoints[tid] = (core_id, demux)
+
+    def unregister(self, tid: int) -> None:
+        q = self._queue_of(tid)
+        if q.words:
+            raise RuntimeError(f"thread {tid} unregistering with {len(q.words)} words pending")
+        del self._endpoints[tid]
+
+    def endpoint(self, tid: int) -> Tuple[int, int]:
+        try:
+            return self._endpoints[tid]
+        except KeyError:
+            raise KeyError(f"thread {tid} is not registered with the UDN") from None
+
+    def _queue_of(self, tid: int) -> _Queue:
+        core_id, demux = self.endpoint(tid)
+        return self._queues[core_id][demux]
+
+    def queue_depth(self, tid: int) -> int:
+        """Words currently queued for ``tid`` (test/debug hook)."""
+        return len(self._queue_of(tid).words)
+
+    # -- operations ----------------------------------------------------------
+    def send(self, core: Core, dst_tid: int, words: Sequence[int]) -> Generator[Any, Any, None]:
+        """Asynchronous send of ``words`` to thread ``dst_tid``.
+
+        Returns as soon as the message is injected; blocks only when the
+        destination buffer has no room (backpressure).
+        """
+        if not words:
+            raise ValueError("empty message")
+        n = len(words)
+        cfg = self.cfg
+        dst_core_id, demux = self.endpoint(dst_tid)
+        if n > cfg.udn_buffer_words:
+            raise ValueError(
+                f"{n}-word message can never fit a {cfg.udn_buffer_words}-word buffer (deadlock)"
+            )
+        buf = self._buffers[dst_core_id]
+        # Reserve space; block while the buffer is full (messages back up
+        # into the network and stall the sender).
+        t0 = self.sim.now
+        while buf.free_words < n:
+            yield from buf.space_cond.wait()
+        blocked = self.sim.now - t0
+        if blocked:
+            core.wait += blocked
+            self.backpressure_cycles += blocked
+        buf.free_words -= n
+
+        inject = cfg.udn_send_base + cfg.udn_send_per_word * n
+        core.busy += inject
+        core.msgs_sent += 1
+        yield inject
+
+        payload = [w for w in words]
+        if self.contended is not None:
+            self.sim.spawn(
+                self._contended_delivery(core.node, dst_core_id, demux, payload),
+                name=f"udn-pkt->{dst_tid}",
+            )
+        else:
+            transit = self.mesh.latency(core.node, self.cores[dst_core_id].node, n)
+            self.sim.call_after(transit, lambda: self._deliver(dst_core_id, demux, payload))
+
+    def _contended_delivery(self, src_node: int, dst_core_id: int, demux: int,
+                            payload: List[int]) -> Generator[Any, Any, None]:
+        yield from self.contended.transit(src_node, self.cores[dst_core_id].node, len(payload))
+        self._deliver(dst_core_id, demux, payload)
+
+    def _deliver(self, dst_core_id: int, demux: int, payload: List[int]) -> None:
+        q = self._queues[dst_core_id][demux]
+        q.words.extend(payload)
+        self.messages_delivered += 1
+        q.arrival_cond.notify_all()
+
+    def receive(self, core: Core, tid: int, k: int = 1) -> Generator[Any, Any, List[int]]:
+        """Blocking receive of ``k`` words from ``tid``'s own queue.
+
+        Time spent blocked on an empty queue is ``wait`` (idle), not
+        stall; draining a non-empty queue costs a few busy cycles per
+        word and touches no shared memory.
+        """
+        if k < 1:
+            raise ValueError("must receive at least one word")
+        q = self._queue_of(tid)
+        t0 = self.sim.now
+        while len(q.words) < k:
+            yield from q.arrival_cond.wait()
+        waited = self.sim.now - t0
+        if waited:
+            core.wait += waited
+        cost = self.cfg.udn_recv_base + self.cfg.udn_recv_per_word * k
+        core.busy += cost
+        core.msgs_received += 1
+        yield cost
+        out = [q.words.popleft() for _ in range(k)]
+        # space frees at the *core buffer* of the receiving endpoint
+        core_id, _ = self.endpoint(tid)
+        buf = self._buffers[core_id]
+        buf.free_words += k
+        buf.space_cond.notify_all()
+        return out
+
+    def is_queue_empty(self, core: Core, tid: int) -> Generator[Any, Any, bool]:
+        """Local probe of ``tid``'s queue (cheap, no blocking)."""
+        cost = self.cfg.udn_probe_cost
+        core.busy += cost
+        yield cost
+        return not self._queue_of(tid).words

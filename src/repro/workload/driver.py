@@ -1,0 +1,175 @@
+"""The benchmark loop: warm-up window, measurement window, counters.
+
+``run_workload`` drives a set of application threads through the
+Section 5.2 loop (operation + up to 50 random empty loop iterations)
+for ``warmup_cycles`` then ``measure_cycles`` of simulated time, and
+assembles a :class:`~repro.workload.metrics.RunResult` from counter
+deltas over the measurement window.
+
+The op to execute is supplied as a factory ``make_op(ctx) ->
+callable(k) -> generator`` so scenarios can give each thread its own
+closure (e.g. alternating enqueue/dequeue with thread-unique values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.api import SyncPrimitive
+from repro.machine.machine import Machine, ThreadCtx
+from repro.workload.metrics import RunResult
+
+__all__ = ["WorkloadSpec", "run_workload"]
+
+
+@dataclass
+class WorkloadSpec:
+    """Timing parameters of one benchmark run.
+
+    The defaults are sized so one run finishes in well under a second of
+    wall time while keeping tens of thousands of operations in the
+    window; ``full()`` returns the larger windows used for the committed
+    EXPERIMENTS.md numbers.
+    """
+
+    warmup_cycles: int = 60_000
+    measure_cycles: int = 240_000
+    think_max_iterations: int = 50   #: Section 5.2: "at most 50"
+    seed: int = 42
+
+    @classmethod
+    def quick(cls) -> "WorkloadSpec":
+        return cls(warmup_cycles=30_000, measure_cycles=120_000)
+
+    @classmethod
+    def full(cls) -> "WorkloadSpec":
+        return cls(warmup_cycles=100_000, measure_cycles=600_000)
+
+
+def run_workload(
+    machine: Machine,
+    ctxs: Sequence[ThreadCtx],
+    make_op: Callable[[ThreadCtx], Callable[[int], Generator[Any, Any, Any]]],
+    spec: WorkloadSpec,
+    *,
+    name: str = "?",
+    prim: Optional[SyncPrimitive] = None,
+    service_core_ids: "Optional[Sequence[int] | str]" = None,
+) -> RunResult:
+    """Run the paper's benchmark loop and measure one window.
+
+    ``prim`` (optional) contributes combining-session statistics and the
+    default servicing-core set.  ``service_core_ids`` overrides which
+    cores count as "the servicing thread" for the Figure 4a breakdown;
+    the string ``"current"`` selects the combiner active at the end of
+    warm-up (the fixed-combiner methodology of the paper's footnote 4).
+    """
+    rng = np.random.default_rng(spec.seed)
+    think_unit = machine.cfg.work_cycles_per_iteration
+    n = len(ctxs)
+
+    ops_done = [0] * n
+    latencies: List[int] = []
+    in_window = {"on": False}
+
+    def app_thread(i: int, ctx: ThreadCtx, thinks: np.ndarray) -> Generator:
+        op = make_op(ctx)
+        k = 0
+        nthinks = len(thinks)
+        sim = machine.sim
+        while True:
+            t0 = sim.now
+            yield from op(k)
+            if in_window["on"]:
+                ops_done[i] += 1
+                latencies.append(sim.now - t0)
+            k += 1
+            t = int(thinks[k % nthinks]) * think_unit
+            if t:
+                yield from ctx.work(t)
+
+    for i, ctx in enumerate(ctxs):
+        thinks = rng.integers(0, spec.think_max_iterations + 1, size=4096)
+        machine.spawn(ctx, app_thread(i, ctx, thinks), name=f"app-{ctx.tid}")
+
+    # warm up, then snapshot and measure
+    machine.run(until=spec.warmup_cycles)
+    in_window["on"] = True
+    if service_core_ids == "current":
+        # fixed-combiner measurement (Figure 4a): the thread combining at
+        # the end of warm-up holds the role for the whole window when
+        # MAX_OPS is effectively infinite
+        service_ids = (
+            [prim.current_combiner_core]
+            if prim is not None and prim.current_combiner_core is not None
+            else []
+        )
+    elif service_core_ids is not None:
+        service_ids = list(service_core_ids)
+    elif prim is not None and prim.service_threads > 0:
+        # dedicated servers: their cores run nothing but service work
+        service_ids = list(prim.servicing_cores())
+    else:
+        # combiner cores interleave app work with combining, so a default
+        # per-op breakdown would be meaningless -- use "current" with a
+        # fixed-combiner (MAX_OPS = inf) run instead (Figure 4a).
+        service_ids = []
+    snapshots = {cid: machine.cores[cid].snapshot() for cid in service_ids}
+    app_snapshots = [ctx.core.snapshot() for ctx in ctxs]
+    sessions_before = len(prim.combining_sessions) if prim is not None else 0
+
+    machine.run(until=spec.warmup_cycles + spec.measure_cycles)
+    in_window["on"] = False
+
+    total_ops = sum(ops_done)
+    result = RunResult(
+        name=name,
+        num_threads=n,
+        window_cycles=spec.measure_cycles,
+        ops=total_ops,
+        clock_mhz=machine.cfg.clock_mhz,
+        per_thread_ops=list(ops_done),
+    )
+    if latencies:
+        arr = np.asarray(latencies)
+        result.mean_latency_cycles = float(arr.mean())
+        result.p95_latency_cycles = float(np.percentile(arr, 95))
+
+    # servicing-thread breakdown (Figure 4a):  For server approaches the
+    # service core set is fixed; for combiners it is every core that
+    # combined -- but only combining work runs there beyond the app loop,
+    # so the meaningful per-op number needs the fixed-combiner variant
+    # (MAX_OPS = inf), exactly as the paper's footnote 4 does.
+    if service_ids and total_ops:
+        busy = stall = 0
+        for cid in service_ids:
+            delta = machine.cores[cid].delta(snapshots[cid])
+            busy += delta["busy"]
+            stall += delta["stall_mem"] + delta["stall_atomic"] + delta["stall_fence"]
+        result.service_cycles_per_op = (busy + stall) / total_ops
+        result.service_stall_per_op = stall / total_ops
+
+    # atomic-instruction rates across application threads
+    if total_ops:
+        cas = cas_fail = atomics = 0
+        for ctx, snap in zip(ctxs, app_snapshots):
+            delta = ctx.core.delta(snap)
+            cas += delta["cas_ops"]
+            cas_fail += delta["cas_failures"]
+            atomics += delta["atomic_ops"]
+        result.cas_per_op = cas / total_ops
+        result.cas_failures_per_op = cas_fail / total_ops
+        result.atomics_per_op = atomics / total_ops
+
+    # combining rate (Figure 4b): mean ops per session closed in-window
+    if prim is not None:
+        window_sessions = [
+            ops for (t, ops) in prim.combining_sessions[sessions_before:]
+        ]
+        if window_sessions:
+            result.combining_rate = float(np.mean(window_sessions))
+
+    return result

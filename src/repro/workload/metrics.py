@@ -1,0 +1,87 @@
+"""The measurement record produced by every benchmark run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one (approach, thread-count) run.
+
+    All cycle quantities are deltas over the measurement window only.
+    """
+
+    name: str                     #: approach / implementation label
+    num_threads: int              #: application threads (paper's x-axes)
+    window_cycles: int            #: measurement window length
+    ops: int                      #: operations completed in the window
+    clock_mhz: int                #: for Mops/s conversion
+
+    #: mean request latency in cycles (Figure 3b)
+    mean_latency_cycles: float = 0.0
+    p95_latency_cycles: float = 0.0
+
+    #: ops per thread in the window (fairness, Section 5.3)
+    per_thread_ops: List[int] = field(default_factory=list)
+
+    #: servicing-thread cycle breakdown per op (Figure 4a)
+    service_cycles_per_op: float = 0.0
+    service_stall_per_op: float = 0.0
+
+    #: mean ops per combining session in the window (Figure 4b)
+    combining_rate: Optional[float] = None
+
+    #: atomic-instruction rates per op across application threads
+    cas_per_op: float = 0.0
+    cas_failures_per_op: float = 0.0
+    atomics_per_op: float = 0.0
+
+    #: free-form extras (e.g. EMPTY-dequeue fraction)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_mops(self) -> float:
+        """Throughput in Mops/s at the machine clock (the paper's y-axis)."""
+        if self.window_cycles <= 0:
+            return 0.0
+        return self.ops * self.clock_mhz / self.window_cycles
+
+    @property
+    def cycles_per_op(self) -> float:
+        """Average machine cycles per completed operation (1/throughput).
+
+        At saturation this equals the servicing thread's per-op time --
+        the y-axis of Figure 4c.
+        """
+        if self.ops <= 0:
+            return float("inf")
+        return self.window_cycles / self.ops
+
+    @property
+    def fairness_ratio(self) -> float:
+        """max/min ops across threads; 1 denotes ideal fairness (§5.3)."""
+        if not self.per_thread_ops:
+            return 1.0
+        lo = min(self.per_thread_ops)
+        if lo == 0:
+            return float("inf")  # a thread starved entirely
+        return max(self.per_thread_ops) / lo
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.name}: T={self.num_threads}",
+            f"tput={self.throughput_mops:.1f} Mops/s",
+            f"lat={self.mean_latency_cycles:.0f} cyc",
+        ]
+        if self.combining_rate is not None:
+            parts.append(f"comb={self.combining_rate:.1f}")
+        if self.service_cycles_per_op:
+            parts.append(
+                f"svc={self.service_cycles_per_op:.1f} cyc/op"
+                f" ({self.service_stall_per_op:.1f} stalled)"
+            )
+        return "  ".join(parts)

@@ -1,0 +1,91 @@
+"""Shared fixtures/helpers for the algorithm and object test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
+from repro.machine import Machine, tile_gx
+
+
+def make_counter(machine: Machine, optable: OpTable):
+    """Register a fetch-and-increment CS body; returns (addr, opcode).
+
+    The return values of concurrent fetch-and-increments are a strong
+    linearizability probe: across all threads they must be exactly
+    {0, 1, ..., total-1} with no duplicates.
+    """
+    addr = machine.mem.alloc(1, isolated=True)
+
+    def fetch_inc(ctx, arg):
+        v = yield from ctx.load(addr)
+        yield from ctx.store(addr, v + 1)
+        return v
+
+    opcode = optable.register(fetch_inc, "fetch_inc")
+    return addr, opcode
+
+
+def build(prim_name: str, num_clients: int, *, max_ops: int = 200, debug: bool = True,
+          seed: int = 1, cfg=None):
+    """Assemble a machine + primitive + counter op for protocol tests.
+
+    Returns (machine, prim, counter_addr, opcode, client_ctxs).
+    """
+    machine = Machine(cfg if cfg is not None else tile_gx(debug_checks=debug))
+    optable = OpTable()
+    addr, opcode = make_counter(machine, optable)
+    if prim_name == "mp-server":
+        prim = MPServer(machine, optable, server_tid=0)
+        client_tids = range(1, num_clients + 1)
+    elif prim_name == "shm-server":
+        prim = ShmServer(machine, optable, server_tid=0,
+                         client_tids=range(1, num_clients + 1))
+        client_tids = range(1, num_clients + 1)
+    elif prim_name == "HybComb":
+        prim = HybComb(machine, optable, max_ops=max_ops)
+        client_tids = range(num_clients)
+    elif prim_name == "CC-Synch":
+        prim = CCSynch(machine, optable, max_ops=max_ops)
+        client_tids = range(num_clients)
+    else:
+        raise ValueError(prim_name)
+    prim.start()
+    ctxs = [machine.thread(tid) for tid in client_tids]
+    return machine, prim, addr, opcode, ctxs
+
+
+def run_clients(machine, prim, opcode, ctxs, ops_each: int, *, seed: int = 1,
+                think_max: int = 50):
+    """Run the paper's benchmark loop on every client; returns results.
+
+    Each client repeatedly applies the op, then executes a random number
+    of empty-loop iterations (at most ``think_max``), per Section 5.2.
+    Returns a list (per client) of lists of return values.
+    """
+    rng = np.random.default_rng(seed)
+    think = machine.cfg.work_cycles_per_iteration
+    results = [[] for _ in ctxs]
+    procs = []
+
+    def client(i, ctx, thinks):
+        for k in range(ops_each):
+            v = yield from prim.apply_op(ctx, opcode, 0)
+            results[i].append(v)
+            yield from ctx.work(int(thinks[k]) * think)
+
+    for i, ctx in enumerate(ctxs):
+        thinks = rng.integers(0, think_max + 1, size=ops_each)
+        procs.append(machine.spawn(ctx, client(i, ctx, thinks)))
+
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+        if hasattr(prim, "stop"):
+            prim.stop()
+
+    machine.sim.spawn(coordinator(), name="coordinator")
+    machine.run()
+    for p in procs:
+        assert not p.alive, "client did not finish"
+    return results

@@ -1,0 +1,91 @@
+"""Tests for the analysis containers and renderers."""
+
+import pytest
+
+from repro.analysis import FigureData, Series, ascii_chart, bar_chart, markdown_table, to_csv
+from repro.workload.metrics import RunResult
+
+
+def rr(ops, cycles=1000, **kw):
+    return RunResult(name="x", num_threads=1, window_cycles=cycles, ops=ops,
+                     clock_mhz=1200, **kw)
+
+
+def tput(r):
+    return r.throughput_mops
+
+
+def make_fig():
+    fig = FigureData("figX", "Test figure", "threads", "Mops/s")
+    for x, ops in ((1, 10), (2, 25), (4, 40)):
+        fig.add_point("alpha", x, rr(ops))
+    for x, ops in ((1, 5), (2, 9), (4, 12)):
+        fig.add_point("beta", x, rr(ops))
+    return fig
+
+
+# -- Series / FigureData ------------------------------------------------------
+
+def test_series_accessors():
+    s = Series("s")
+    s.add(1, rr(10))
+    s.add(2, rr(30))
+    assert s.xs() == [1, 2]
+    assert s.ys(tput) == [pytest.approx(12.0), pytest.approx(36.0)]
+    assert s.y_at(2, tput) == pytest.approx(36.0)
+    assert s.y_at(99, tput) is None
+    assert s.peak(tput) == pytest.approx(36.0)
+
+
+def test_empty_series_peak():
+    assert Series("s").peak(tput) == 0.0
+
+
+def test_figure_series_for_creates_once():
+    fig = FigureData("f", "t", "x", "y")
+    a = fig.series_for("a")
+    assert fig.series_for("a") is a
+    fig.note("hello")
+    assert fig.notes == ["hello"]
+    assert fig.labels() == ["a"]
+
+
+# -- renderers -------------------------------------------------------------------
+
+def test_ascii_chart_contains_legend_and_axes():
+    out = ascii_chart(make_fig(), tput)
+    assert "alpha" in out and "beta" in out
+    assert "threads: 1 .. 4" in out
+    assert "Test figure" in out
+
+
+def test_ascii_chart_empty_figure():
+    fig = FigureData("f", "t", "x", "y")
+    assert "no data" in ascii_chart(fig, tput)
+
+
+def test_markdown_table_rows_and_missing_points():
+    fig = make_fig()
+    fig.add_point("gamma", 2, rr(100))  # only one x
+    table = markdown_table(fig, tput)
+    lines = table.strip().splitlines()
+    assert lines[0].startswith("| threads |")
+    assert len(lines) == 2 + 3  # header, separator, three x values
+    # gamma has no data at x=1 and x=4
+    assert "| 1 |" in lines[2] and lines[2].rstrip().endswith("- |")
+
+
+def test_bar_chart():
+    out = bar_chart(["a", "b"], {"stalled": [1.0, 5.0], "total": [2.0, 10.0]},
+                    title="bars")
+    assert "bars" in out
+    assert out.count("|") == 4
+    assert "10.0" in out
+
+
+def test_to_csv_long_format():
+    csv = to_csv(make_fig(), {"tput": tput})
+    lines = csv.strip().splitlines()
+    assert lines[0] == "series,x,tput"
+    assert len(lines) == 1 + 6
+    assert any(line.startswith("alpha,4,") for line in lines)

@@ -1,0 +1,32 @@
+"""Tests for the top-level ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info_lists_profiles_and_experiments(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "tile-gx8036" in out
+    assert "x86-like" in out
+    assert "scc-like" in out
+    assert "fig3a" in out and "disc-scc" in out
+    assert "HybComb" in out
+
+
+def test_no_args_defaults_to_info(capsys):
+    assert main([]) == 0
+    assert "machine profiles" in capsys.readouterr().out
+
+
+def test_quickstart_runs_small(capsys):
+    assert main(["quickstart", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "mp-server" in out and "Mops/s" in out
+
+
+def test_experiments_forwarding(capsys):
+    assert main(["experiments", "disc-noc"]) == 0
+    out = capsys.readouterr().out
+    assert "disc-noc" in out and "analytic" in out

@@ -1,0 +1,201 @@
+"""Correctness tests for the four synchronization approaches.
+
+The central probe is concurrent fetch-and-increment: if every apply_op
+returns a distinct value and the final counter equals the op count, the
+execution was linearizable and no operation was lost, duplicated, or
+executed outside mutual exclusion.
+"""
+
+import pytest
+
+from tests.helpers import build, run_clients
+
+APPROACHES = ["mp-server", "HybComb", "shm-server", "CC-Synch"]
+
+
+def assert_linearizable_counter(machine, addr, results, expected_total):
+    flat = [v for client in results for v in client]
+    assert len(flat) == expected_total
+    assert sorted(flat) == list(range(expected_total)), "duplicate or missing ticket"
+    assert machine.mem.peek(addr) == expected_total
+    # per-client return values are monotonically increasing (program order)
+    for client in results:
+        assert client == sorted(client)
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+def test_single_client(name):
+    m, prim, addr, opcode, ctxs = build(name, 1)
+    results = run_clients(m, prim, opcode, ctxs, ops_each=20)
+    assert_linearizable_counter(m, addr, results, 20)
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+def test_two_clients(name):
+    m, prim, addr, opcode, ctxs = build(name, 2)
+    results = run_clients(m, prim, opcode, ctxs, ops_each=50)
+    assert_linearizable_counter(m, addr, results, 100)
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+def test_many_clients_high_contention(name):
+    m, prim, addr, opcode, ctxs = build(name, 12)
+    results = run_clients(m, prim, opcode, ctxs, ops_each=40, think_max=10)
+    assert_linearizable_counter(m, addr, results, 480)
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+@pytest.mark.parametrize("seed", [2, 3, 4])
+def test_random_schedules(name, seed):
+    m, prim, addr, opcode, ctxs = build(name, 7)
+    results = run_clients(m, prim, opcode, ctxs, ops_each=30, seed=seed)
+    assert_linearizable_counter(m, addr, results, 210)
+
+
+@pytest.mark.parametrize("name", ["HybComb", "CC-Synch"])
+@pytest.mark.parametrize("max_ops", [1, 2, 5, 200])
+def test_combiners_respect_max_ops(name, max_ops):
+    m, prim, addr, opcode, ctxs = build(name, 8, max_ops=max_ops)
+    results = run_clients(m, prim, opcode, ctxs, ops_each=30, think_max=5)
+    assert_linearizable_counter(m, addr, results, 240)
+    assert prim.combining_sessions, "no combining happened"
+    limit = max_ops + 1 if name == "HybComb" else max_ops  # own op + MAX_OPS others
+    for _t, ops in prim.combining_sessions:
+        assert 1 <= ops <= limit
+    # every op was executed by some combiner session
+    assert sum(ops for _t, ops in prim.combining_sessions) == 240
+
+
+def test_hybcomb_invariants_under_debug_checks():
+    """debug_checks=True turns on Proposition 1/2 assertions inside the
+    algorithm; a full contended run must not trip them."""
+    m, prim, addr, opcode, ctxs = build("HybComb", 10, max_ops=4, debug=True)
+    results = run_clients(m, prim, opcode, ctxs, ops_each=25, think_max=3)
+    assert_linearizable_counter(m, addr, results, 250)
+
+
+def test_mp_server_critical_path_is_stall_free():
+    """The core claim of Figure 4a: under load, virtually no coherence
+    stalls remain on the MP-SERVER servicing thread."""
+    m, prim, addr, opcode, ctxs = build("mp-server", 10)
+    run_clients(m, prim, opcode, ctxs, ops_each=50, think_max=5)
+    server = prim.server_ctx.core
+    # only the cold misses on the CS data remain (a per-run constant,
+    # not a per-op cost): a couple of RMRs, not hundreds
+    assert server.rmr <= 4
+    assert server.stall_mem < 4 * m.cfg.c_mem_base
+    assert server.stall_atomic == 0
+    assert server.stall_mem / prim.requests_served < 0.5
+    assert prim.requests_served == 500
+
+
+def test_shm_server_pays_rmrs_per_request():
+    """Figure 1: the SHM server takes ~2 RMRs per served CS."""
+    m, prim, addr, opcode, ctxs = build("shm-server", 6)
+    run_clients(m, prim, opcode, ctxs, ops_each=40, think_max=5)
+    server = prim.server_ctx.core
+    assert prim.requests_served == 240
+    # at least one RMR per request (read of the freshly-written channel),
+    # typically two (response write) minus warm-up effects
+    assert server.rmr >= prim.requests_served
+    assert server.stall_mem > 0
+
+
+def test_hybcomb_executes_few_cas_per_op():
+    """Section 5.3: 'as few as 0.1 executed CAS per operation in high
+    concurrency levels'.  At high concurrency the combining snowball
+    makes combiner changes (and hence CAS) rare.  (At moderate
+    concurrency our simulation sees ~1 CAS/op where the paper reports
+    up to 0.7 -- the handover storms are somewhat sharper in simulated
+    time; the deviation is documented in EXPERIMENTS.md.)"""
+    m, prim, addr, opcode, ctxs = build("HybComb", 24)
+    run_clients(m, prim, opcode, ctxs, ops_each=60, think_max=50)
+    total_ops = 24 * 60
+    total_cas = sum(ctx.core.cas_ops for ctx in ctxs)
+    assert total_cas / total_ops <= 0.2
+
+
+def test_ccsynch_single_atomic_per_op():
+    """CC-Synch issues exactly one SWAP per apply_op (no CAS)."""
+    m, prim, addr, opcode, ctxs = build("CC-Synch", 6)
+    run_clients(m, prim, opcode, ctxs, ops_each=30)
+    total_ops = 6 * 30
+    assert sum(ctx.core.swap_ops for ctx in ctxs) == total_ops
+    assert sum(ctx.core.cas_ops for ctx in ctxs) == 0
+
+
+def test_mp_server_requires_no_client_atomics():
+    m, prim, addr, opcode, ctxs = build("mp-server", 5)
+    run_clients(m, prim, opcode, ctxs, ops_each=20)
+    assert sum(ctx.core.atomic_ops for ctx in ctxs) == 0
+
+
+def test_different_opcodes_dispatch_correctly():
+    """Multiple registered CS bodies must not cross wires."""
+    from repro.core import MPServer, OpTable
+    from repro.machine import Machine, tile_gx
+
+    m = Machine(tile_gx())
+    table = OpTable()
+    a = m.mem.alloc(1)
+    b = m.mem.alloc(1)
+
+    def add_a(ctx, arg):
+        v = yield from ctx.load(a)
+        yield from ctx.store(a, v + arg)
+        return v + arg
+
+    def mul_b(ctx, arg):
+        v = yield from ctx.load(b)
+        yield from ctx.store(b, v * arg if v else arg)
+        return 0
+
+    op_a = table.register(add_a)
+    op_b = table.register(mul_b)
+    prim = MPServer(m, table, server_tid=0)
+    prim.start()
+    ctx = m.thread(1)
+
+    def client():
+        r1 = yield from prim.apply_op(ctx, op_a, 10)
+        r2 = yield from prim.apply_op(ctx, op_b, 7)
+        r3 = yield from prim.apply_op(ctx, op_a, 5)
+        return r1, r2, r3
+
+    p = m.spawn(ctx, client())
+    m.run()
+    assert p.result == (10, 0, 15)
+    assert m.mem.peek(a) == 15
+    assert m.mem.peek(b) == 7
+
+
+def test_unknown_opcode_raises():
+    from repro.core import OpTable
+    from repro.machine import Machine, tile_gx
+
+    m = Machine(tile_gx())
+    table = OpTable()
+    ctx = m.thread(0)
+
+    def prog():
+        yield from table.execute(ctx, 3, 0)
+
+    m.spawn(ctx, prog())
+    with pytest.raises(ValueError, match="unknown opcode"):
+        m.run()
+
+
+def test_primitive_double_start_rejected():
+    m, prim, *_ = build("mp-server", 1)
+    with pytest.raises(RuntimeError, match="already started"):
+        prim.start()
+
+
+@pytest.mark.parametrize("name", ["HybComb", "CC-Synch"])
+def test_combiner_max_ops_validation(name):
+    from repro.core import CCSynch, HybComb, OpTable
+    from repro.machine import Machine, tile_gx
+
+    cls = HybComb if name == "HybComb" else CCSynch
+    with pytest.raises(ValueError):
+        cls(Machine(tile_gx()), OpTable(), max_ops=0)

@@ -1,0 +1,121 @@
+"""Mutual-exclusion and fairness tests for the classic spin locks."""
+
+import pytest
+
+from repro.core import MCSLock, OpTable, TTASLock, TicketLock
+from repro.machine import Machine, tile_gx
+
+LOCKS = [TTASLock, TicketLock, MCSLock]
+
+
+def run_lock_workload(lock_cls, num_threads, ops_each, seed=1):
+    """Each thread increments a shared counter under the lock; also
+    tracks an in-CS overlap detector."""
+    import numpy as np
+
+    m = Machine(tile_gx())
+    lock = lock_cls(m)
+    counter = m.mem.alloc(1, isolated=True)
+    in_cs = {"n": 0, "max": 0}
+    rng = np.random.default_rng(seed)
+
+    def prog(ctx, thinks):
+        for k in range(ops_each):
+            yield from lock.acquire(ctx)
+            in_cs["n"] += 1
+            in_cs["max"] = max(in_cs["max"], in_cs["n"])
+            v = yield from ctx.load(counter)
+            yield from ctx.store(counter, v + 1)
+            in_cs["n"] -= 1
+            yield from lock.release(ctx)
+            yield from ctx.work(int(thinks[k]) * 2)
+
+    for i in range(num_threads):
+        ctx = m.thread(i)
+        m.spawn(ctx, prog(ctx, rng.integers(0, 51, size=ops_each)))
+    m.run()
+    return m, counter, in_cs
+
+
+@pytest.mark.parametrize("lock_cls", LOCKS)
+def test_lock_mutual_exclusion_and_no_lost_updates(lock_cls):
+    m, counter, in_cs = run_lock_workload(lock_cls, num_threads=8, ops_each=25)
+    assert in_cs["max"] == 1, "two threads were inside the CS at once"
+    assert m.mem.peek(counter) == 8 * 25
+
+
+@pytest.mark.parametrize("lock_cls", LOCKS)
+def test_lock_single_thread(lock_cls):
+    m, counter, _ = run_lock_workload(lock_cls, num_threads=1, ops_each=10)
+    assert m.mem.peek(counter) == 10
+
+
+@pytest.mark.parametrize("lock_cls", LOCKS)
+@pytest.mark.parametrize("seed", [7, 8])
+def test_lock_random_schedules(lock_cls, seed):
+    m, counter, in_cs = run_lock_workload(lock_cls, 5, 20, seed=seed)
+    assert in_cs["max"] == 1
+    assert m.mem.peek(counter) == 100
+
+
+def test_ticket_lock_is_fifo_fair():
+    """With a ticket lock, grant order must equal ticket order."""
+    m = Machine(tile_gx())
+    lock = TicketLock(m)
+    grants = []
+
+    def prog(ctx):
+        yield from ctx.work(ctx.tid)  # stagger arrivals deterministically
+        yield from lock.acquire(ctx)
+        grants.append(ctx.tid)
+        yield from ctx.work(100)
+        yield from lock.release(ctx)
+
+    for i in range(6):
+        ctx = m.thread(i)
+        m.spawn(ctx, prog(ctx))
+    m.run()
+    assert grants == sorted(grants)
+
+
+def test_mcs_release_with_no_successor_frees_lock():
+    m = Machine(tile_gx())
+    lock = MCSLock(m)
+
+    def prog(ctx):
+        yield from lock.acquire(ctx)
+        yield from lock.release(ctx)
+        # second acquisition must succeed without contention
+        yield from lock.acquire(ctx)
+        yield from lock.release(ctx)
+        return "ok"
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    assert p.result == "ok"
+
+
+def test_lock_execute_runs_cs_on_calling_thread():
+    m = Machine(tile_gx())
+    lock = TTASLock(m)
+    table = OpTable()
+    a = m.mem.alloc(1)
+
+    def body(ctx, arg):
+        v = yield from ctx.load(a)
+        yield from ctx.store(a, v + arg)
+        return v + arg
+
+    op = table.register(body)
+    ctx = m.thread(3)
+
+    def prog():
+        r = yield from lock.execute(ctx, table, op, 5)
+        return r
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    assert p.result == 5
+    # the CS ran on the caller's core: its counters moved
+    assert ctx.core.loads > 0 and ctx.core.stores > 0

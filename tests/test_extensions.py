@@ -1,0 +1,193 @@
+"""Tests for the extension features: the elimination stack front-end and
+HYBCOMB's SWAP-fallback registration."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybComb, MPServer, OpTable
+from repro.machine import Machine, tile_gx
+from repro.objects import EMPTY, EliminationStack, LockedStack, TreiberStack
+
+
+# -- elimination stack -------------------------------------------------------
+
+def build_elim(machine, num_slots=4, window=80, backing="treiber"):
+    if backing == "treiber":
+        base = TreiberStack(machine)
+    else:
+        prim = MPServer(machine, OpTable(), server_tid=0)
+        base = LockedStack(prim)
+        prim.start()
+    return EliminationStack(machine, base, num_slots=num_slots,
+                            window_cycles=window)
+
+
+def test_elimination_sequential_fallthrough():
+    """A lone thread never eliminates; semantics match the backing stack."""
+    m = Machine(tile_gx())
+    s = build_elim(m)
+    ctx = m.thread(0)
+    out = []
+
+    def prog():
+        for v in (1, 2, 3):
+            yield from s.push(ctx, v)
+        for _ in range(4):
+            v = yield from s.pop(ctx)
+            out.append(v)
+
+    m.spawn(ctx, prog())
+    m.run()
+    assert out == [3, 2, 1, EMPTY]
+    assert s.eliminated == 0
+
+
+def test_elimination_happens_under_concurrency():
+    m = Machine(tile_gx())
+    s = build_elim(m, num_slots=2, window=200)
+    N = 60
+
+    def pusher(ctx):
+        for v in range(1, N + 1):
+            yield from s.push(ctx, v)
+            yield from ctx.work(15)
+
+    def popper(ctx):
+        got = 0
+        while got < N:
+            v = yield from s.pop(ctx)
+            if v != EMPTY:
+                got += 1
+            else:
+                yield from ctx.work(25)
+
+    p_ctx = m.thread(0)
+    c_ctx = m.thread(1)
+    m.spawn(p_ctx, pusher(p_ctx))
+    m.spawn(c_ctx, popper(c_ctx))
+    m.run()
+    assert s.eliminated > 0, "no pair ever eliminated"
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_elimination_conserves_elements(seed):
+    """No value is lost or duplicated through the elimination array."""
+    m = Machine(tile_gx())
+    s = build_elim(m, num_slots=3, window=120)
+    rng = np.random.default_rng(seed)
+    nthreads, N = 6, 25
+    popped = []
+
+    def worker(ctx, pid, thinks):
+        for k in range(N):
+            yield from s.push(ctx, pid * 1000 + k)
+            yield from ctx.work(int(thinks[k]))
+            v = yield from s.pop(ctx)
+            if v != EMPTY:
+                popped.append(v)
+
+    for i in range(nthreads):
+        ctx = m.thread(i)
+        m.spawn(ctx, worker(ctx, i + 1, rng.integers(0, 80, N)))
+    m.run()
+    expected = sorted(p * 1000 + k for p in range(1, nthreads + 1) for k in range(N))
+    assert sorted(popped + s.drain_to_list()) == expected
+
+
+def test_elimination_reduces_backing_stack_traffic():
+    """With many symmetric push/pop pairs, the elimination layer must
+    absorb a meaningful share of operations."""
+    m = Machine(tile_gx())
+    # few slots -> pushers and poppers actually meet
+    s = build_elim(m, num_slots=2, window=300)
+
+    def worker(ctx):
+        for k in range(40):
+            yield from s.push(ctx, k + 1)
+            v = yield from s.pop(ctx)
+
+    for i in range(12):
+        ctx = m.thread(i)
+        m.spawn(ctx, worker(ctx))
+    m.run()
+    assert s.elimination_rate > 0.1, f"rate only {s.elimination_rate:.0%}"
+
+
+def test_elimination_rejects_bad_parameters():
+    m = Machine(tile_gx())
+    base = TreiberStack(m)
+    with pytest.raises(ValueError):
+        EliminationStack(m, base, num_slots=0)
+    with pytest.raises(ValueError):
+        EliminationStack(m, base, window_cycles=0)
+
+
+def test_elimination_rejects_oversized_values():
+    m = Machine(tile_gx())
+    s = build_elim(m)
+    ctx = m.thread(0)
+    with pytest.raises(ValueError, match="32-bit"):
+        list(s.push(ctx, 1 << 40))
+
+
+# -- HYBCOMB SWAP fallback -------------------------------------------------------
+
+def make_counter(machine, table):
+    addr = machine.mem.alloc(1, isolated=True)
+
+    def fetch_inc(ctx, arg):
+        v = yield from ctx.load(addr)
+        yield from ctx.store(addr, v + 1)
+        return v
+
+    return addr, table.register(fetch_inc)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_swap_fallback_is_linearizable(k):
+    m = Machine(tile_gx(debug_checks=True))
+    table = OpTable()
+    addr, opcode = make_counter(m, table)
+    prim = HybComb(m, table, max_ops=3, swap_after_cas_failures=k)
+    prim.start()
+    tickets = []
+
+    def client(ctx):
+        for _ in range(30):
+            t = yield from prim.apply_op(ctx, opcode, 0)
+            tickets.append(t)
+            yield from ctx.work((ctx.tid * 7) % 23)
+
+    for i in range(10):
+        ctx = m.thread(i)
+        m.spawn(ctx, client(ctx))
+    m.run()
+    assert sorted(tickets) == list(range(300))
+    assert m.mem.peek(addr) == 300
+
+
+def test_swap_fallback_actually_triggers():
+    """Under a registration storm (tiny MAX_OPS, many threads) some
+    threads must take the SWAP path."""
+    m = Machine(tile_gx())
+    table = OpTable()
+    addr, opcode = make_counter(m, table)
+    prim = HybComb(m, table, max_ops=1, swap_after_cas_failures=1)
+    prim.start()
+
+    def client(ctx):
+        for _ in range(25):
+            yield from prim.apply_op(ctx, opcode, 0)
+
+    for i in range(12):
+        ctx = m.thread(i)
+        m.spawn(ctx, client(ctx))
+    m.run()
+    assert prim.swap_registrations > 0
+    assert m.mem.peek(addr) == 300
+
+
+def test_swap_fallback_validation():
+    m = Machine(tile_gx())
+    with pytest.raises(ValueError):
+        HybComb(m, OpTable(), swap_after_cas_failures=0)

@@ -1,0 +1,126 @@
+"""Tests for the flat-combining baseline (extension; Hendler et al. [13])."""
+
+import numpy as np
+import pytest
+
+from repro.core import CCSynch, FlatCombining, OpTable
+from repro.machine import Machine, tile_gx
+from repro.objects import LockedCounter
+
+
+def build(nthreads, scan_rounds=2):
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim = FlatCombining(m, table, scan_rounds=scan_rounds)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in range(nthreads)]
+    return m, prim, counter, ctxs
+
+
+def run_counter(m, prim, counter, ctxs, ops_each, seed=1):
+    rng = np.random.default_rng(seed)
+    tickets = []
+
+    def client(ctx, thinks):
+        for k in range(ops_each):
+            v = yield from counter.increment(ctx)
+            tickets.append(v)
+            yield from ctx.work(int(thinks[k]))
+
+    for ctx in ctxs:
+        m.spawn(ctx, client(ctx, rng.integers(0, 80, ops_each)))
+    m.run()
+    return tickets
+
+
+def test_single_thread():
+    m, prim, counter, ctxs = build(1)
+    tickets = run_counter(m, prim, counter, ctxs, 20)
+    assert tickets == list(range(20))
+
+
+@pytest.mark.parametrize("nthreads", [2, 6, 12])
+def test_linearizable_under_contention(nthreads):
+    m, prim, counter, ctxs = build(nthreads)
+    tickets = run_counter(m, prim, counter, ctxs, 30)
+    assert sorted(tickets) == list(range(nthreads * 30))
+    assert counter.value() == nthreads * 30
+
+
+@pytest.mark.parametrize("seed", [2, 3])
+def test_random_schedules(seed):
+    m, prim, counter, ctxs = build(7)
+    tickets = run_counter(m, prim, counter, ctxs, 25, seed=seed)
+    assert sorted(tickets) == list(range(175))
+
+
+def test_mutual_exclusion():
+    m = Machine(tile_gx())
+    table = OpTable()
+    depth = {"n": 0, "max": 0}
+
+    def body(ctx, arg):
+        depth["n"] += 1
+        depth["max"] = max(depth["max"], depth["n"])
+        yield from ctx.work(4)
+        depth["n"] -= 1
+        return 0
+
+    op = table.register(body)
+    prim = FlatCombining(m, table)
+    prim.start()
+
+    def client(ctx):
+        for _ in range(15):
+            yield from prim.apply_op(ctx, op, 0)
+            yield from ctx.work(ctx.tid % 13)
+
+    for t in range(8):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx))
+    m.run()
+    assert depth["max"] == 1
+
+
+def test_publication_list_one_record_per_thread():
+    m, prim, counter, ctxs = build(5)
+    run_counter(m, prim, counter, ctxs, 20)
+    assert len(prim._record) == 5
+    # the list links all five records
+    seen = []
+    rec = m.mem.peek(prim.head_addr)
+    while rec != 0:
+        seen.append(rec)
+        rec = m.mem.peek(rec + 5)
+    assert sorted(seen) == sorted(prim._record.values())
+
+
+def test_combining_actually_happens():
+    m, prim, counter, ctxs = build(10)
+    run_counter(m, prim, counter, ctxs, 30)
+    sessions = [ops for _t, ops in prim.combining_sessions]
+    assert max(sessions) > 1, "no combining: every op combined only itself"
+
+
+def test_scan_rounds_validation():
+    with pytest.raises(ValueError):
+        FlatCombining(Machine(tile_gx()), OpTable(), scan_rounds=0)
+
+
+def test_slower_than_ccsynch_under_load():
+    """The lineage: CC-SYNCH superseded flat combining.  On identical
+    workloads FC's full-list scans cost it throughput."""
+    def run(prim_cls):
+        m = Machine(tile_gx())
+        table = OpTable()
+        prim = prim_cls(m, table)
+        counter = LockedCounter(prim)
+        prim.start()
+        ctxs = [m.thread(t) for t in range(16)]
+        run_counter(m, prim, counter, ctxs, 40)
+        return 16 * 40 * 1200 / m.now
+
+    fc = run(FlatCombining)
+    cc = run(CCSynch)
+    assert fc < cc

@@ -1,0 +1,137 @@
+"""Tests for machine configuration, profiles, and assembly."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig, tile_gx, x86_like
+
+
+# -- config validation --------------------------------------------------------
+
+def test_tile_gx_defaults():
+    cfg = tile_gx()
+    assert cfg.num_cores == 36
+    assert cfg.clock_mhz == 1200
+    assert cfg.has_udn
+    assert cfg.atomic_at == "controller"
+    assert len(cfg.memory_controller_nodes) == 2
+    assert cfg.udn_buffer_words == 118
+    assert cfg.udn_demux_queues == 4
+
+
+def test_x86_profile():
+    cfg = x86_like()
+    assert not cfg.has_udn
+    assert cfg.atomic_at == "cache"
+    assert cfg.clock_mhz > tile_gx().clock_mhz
+    assert cfg.c_remote_base > tile_gx().c_remote_base
+
+
+def test_overrides_via_factories():
+    cfg = tile_gx(mesh_width=4, mesh_height=4, memory_controller_nodes=(0, 15))
+    assert cfg.num_cores == 16
+
+
+def test_with_overrides_returns_validated_copy():
+    cfg = tile_gx()
+    cfg2 = cfg.with_overrides(clock_mhz=1000)
+    assert cfg2.clock_mhz == 1000
+    assert cfg.clock_mhz == 1200
+
+
+@pytest.mark.parametrize("bad", [
+    dict(mesh_width=0),
+    dict(memory_controller_nodes=(99,)),
+    dict(memory_controller_nodes=()),
+    dict(atomic_at="nowhere"),
+    dict(line_words=0),
+    dict(udn_demux_queues=0),
+])
+def test_invalid_configs_rejected(bad):
+    with pytest.raises(ValueError):
+        tile_gx(**bad)
+
+
+def test_mops_conversion():
+    cfg = tile_gx()
+    # 1200 ops in 1200 cycles at 1200 MHz = 1200 Mops/s
+    assert cfg.mops(1200, 1200) == pytest.approx(1200.0)
+    assert cfg.mops(10, 0) == 0.0
+
+
+# -- machine assembly -----------------------------------------------------------
+
+def test_machine_has_all_subsystems():
+    m = Machine(tile_gx())
+    assert len(m.cores) == 36
+    assert m.udn is not None
+    assert m.mem.atomics is not None
+    assert m.contended_mesh is None
+
+
+def test_contended_machine():
+    m = Machine(tile_gx(contended_noc=True))
+    assert m.contended_mesh is not None
+
+
+def test_x86_machine_has_no_udn():
+    m = Machine(x86_like())
+    assert m.udn is None
+
+
+def test_thread_placement_defaults_to_tid():
+    m = Machine(tile_gx())
+    ctx = m.thread(7)
+    assert ctx.core.cid == 7
+
+
+def test_thread_errors():
+    m = Machine(tile_gx())
+    m.thread(0)
+    with pytest.raises(ValueError, match="already exists"):
+        m.thread(0)
+    with pytest.raises(ValueError, match="out of range"):
+        m.thread(1, core_id=99)
+
+
+def test_work_accumulates_busy():
+    m = Machine(tile_gx())
+    ctx = m.thread(0)
+
+    def prog():
+        yield from ctx.work(25)
+        yield from ctx.work(0)  # no-op
+        return ctx.core.busy
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    assert p.result == 25
+    assert m.now == 25
+
+
+def test_core_snapshot_delta():
+    m = Machine(tile_gx())
+    ctx = m.thread(0)
+
+    def prog():
+        yield from ctx.work(10)
+        snap = ctx.core.snapshot()
+        yield from ctx.work(5)
+        return ctx.core.delta(snap)
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    assert p.result["busy"] == 5
+    assert p.result["stall_mem"] == 0
+
+
+def test_max_events_guard_on_machine():
+    m = Machine(tile_gx(), max_events=100)
+    ctx = m.thread(0)
+
+    def spin():
+        while True:
+            yield 1
+
+    m.spawn(ctx, spin())
+    with pytest.raises(RuntimeError, match="exceeded"):
+        m.run()

@@ -1,0 +1,268 @@
+"""Tests for the overlap mechanisms: software prefetch (MSHR join) and
+the one-entry merging store buffer + fence drain."""
+
+import pytest
+
+from repro.machine import Machine, tile_gx
+
+
+def make_machine(**over):
+    return Machine(tile_gx(**over))
+
+
+# -- prefetch ----------------------------------------------------------------
+
+def test_prefetch_makes_later_load_cheap():
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+    m.mem.poke(a, 7)
+
+    def prog(ctx):
+        yield from ctx.prefetch(a)
+        yield from ctx.work(200)      # plenty of time for the fetch
+        s0 = ctx.core.stall_mem
+        v = yield from ctx.load(a)
+        return v, ctx.core.stall_mem - s0
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    v, stall = p.result
+    assert v == 7
+    assert stall == 0  # fully overlapped
+
+
+def test_load_joins_inflight_prefetch_pays_remainder_only():
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+
+    def cold(ctx):
+        s0 = ctx.core.stall_mem
+        yield from ctx.load(a)
+        return ctx.core.stall_mem - s0
+
+    def overlapped(ctx):
+        yield from ctx.prefetch(a)
+        yield from ctx.work(10)       # partial overlap only
+        s0 = ctx.core.stall_mem
+        yield from ctx.load(a)
+        return ctx.core.stall_mem - s0
+
+    m1 = make_machine()
+    c1 = m1.thread(0)
+    p_cold = m1.spawn(c1, cold(c1))
+    m1.run()
+    c2 = m.thread(0)
+    p_join = m.spawn(c2, overlapped(c2))
+    m.run()
+    assert 0 < p_join.result < p_cold.result
+
+
+def test_prefetch_of_cached_line_is_noop():
+    m = make_machine()
+    a = m.mem.alloc(1)
+
+    def prog(ctx):
+        yield from ctx.load(a)
+        rmr0 = ctx.core.rmr
+        yield from ctx.prefetch(a)
+        yield from ctx.work(100)
+        yield from ctx.load(a)
+        return ctx.core.rmr - rmr0
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    assert p.result == 0
+
+
+def test_prefetched_line_can_still_be_invalidated():
+    """A prefetch gives no stale-data license: a later write by another
+    core must still be observed."""
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def reader(ctx):
+        yield from ctx.prefetch(a)
+        yield from ctx.work(500)
+        v = yield from ctx.load(a)   # writer hit in between
+        return v
+
+    def writer(ctx):
+        yield 200
+        yield from ctx.store(a, 99)
+
+    p = m.spawn(t0, reader(t0))
+    m.spawn(t1, writer(t1))
+    m.run()
+    assert p.result == 99
+
+
+def test_double_prefetch_is_safe():
+    m = make_machine()
+    a = m.mem.alloc(1)
+
+    def prog(ctx):
+        yield from ctx.prefetch(a)
+        yield from ctx.prefetch(a)   # second is a no-op
+        v = yield from ctx.load(a)
+        return v
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    assert p.result == 0
+
+
+# -- store buffer -----------------------------------------------------------
+
+def test_store_miss_does_not_stall_issuer():
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+
+    def prog(ctx):
+        t0 = m.now
+        yield from ctx.store(a, 5)
+        return m.now - t0, ctx.core.stall_mem
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    elapsed, stall = p.result
+    assert elapsed == m.cfg.c_hit    # issue cost only
+    assert stall == 0
+
+
+def test_same_line_stores_merge_for_free():
+    m = make_machine()
+    a = m.mem.alloc(8, isolated=True)   # one line
+
+    def prog(ctx):
+        t0 = m.now
+        for i in range(8):
+            yield from ctx.store(a + i, i)
+        return m.now - t0
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    assert p.result == 8 * m.cfg.c_hit
+    for i in range(8):
+        assert m.mem.peek(a + i) == i
+
+
+def test_store_to_second_line_waits_for_drain():
+    m = make_machine()
+    a = m.mem.alloc(8, isolated=True)
+    b = m.mem.alloc(8, isolated=True)
+
+    def prog(ctx):
+        yield from ctx.store(a, 1)     # buffered, drains in background
+        s0 = ctx.core.stall_mem
+        yield from ctx.store(b, 2)     # different line: must wait
+        return ctx.core.stall_mem - s0
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    assert p.result > 0
+
+
+def test_fence_waits_for_store_buffer_drain():
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+
+    def fenced(ctx):
+        yield from ctx.store(a, 1)
+        f0 = ctx.core.stall_fence
+        yield from ctx.fence()
+        return ctx.core.stall_fence - f0
+
+    def unfenced(ctx):
+        f0 = ctx.core.stall_fence
+        yield from ctx.fence()
+        return ctx.core.stall_fence - f0
+
+    m1 = make_machine()
+    c1 = m1.thread(0)
+    p1 = m1.spawn(c1, fenced(c1))
+    m1.run()
+    c2 = m.thread(0)
+    p2 = m.spawn(c2, unfenced(c2))
+    m.run()
+    assert p1.result > p2.result == m.cfg.c_fence
+
+
+def test_buffered_store_eventually_owns_line():
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+
+    def prog(ctx):
+        yield from ctx.store(a, 1)
+        yield from ctx.work(300)
+        return None
+
+    ctx = m.thread(0)
+    m.spawn(ctx, prog(ctx))
+    m.run()
+    assert m.mem.cached_state(0, a) == "M"
+
+
+def test_store_buffer_visibility_to_spinners():
+    """A spinner on another core observes a buffered store when the
+    background transaction completes (not never, not too early)."""
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def spinner(ctx):
+        v = yield from ctx.spin_until(a, lambda v: v == 42)
+        return v, m.now
+
+    def writer(ctx):
+        yield 400
+        yield from ctx.store(a, 42)
+        return m.now
+
+    p_spin = m.spawn(t0, spinner(t0))
+    p_write = m.spawn(t1, writer(t1))
+    m.run()
+    v, t_seen = p_spin.result
+    assert v == 42
+    assert t_seen >= p_write.result  # visible at/after the drain, never before issue completes
+
+
+def test_two_cores_interleaved_buffered_stores_stay_coherent():
+    m = make_machine(debug_checks=True)
+    a = m.mem.alloc(1, isolated=True)
+
+    def prog(ctx, base):
+        for i in range(30):
+            yield from ctx.store(a, base + i)
+            yield from ctx.work(7)
+
+    for t, base in ((0, 1000), (1, 2000)):
+        ctx = m.thread(t)
+        m.spawn(ctx, prog(ctx, base))
+    m.run()
+    m.mem.check_all_swmr()
+    assert m.mem.peek(a) in (1029, 2029)
+
+
+def test_own_load_after_buffered_store_sees_value():
+    """Store-to-load forwarding: the issuing core reads its own store."""
+    m = make_machine()
+    a = m.mem.alloc(1, isolated=True)
+
+    def prog(ctx):
+        yield from ctx.store(a, 77)
+        v = yield from ctx.load(a)   # immediately, txn still in flight
+        return v
+
+    ctx = m.thread(0)
+    p = m.spawn(ctx, prog(ctx))
+    m.run()
+    assert p.result == 77

@@ -1,0 +1,139 @@
+"""Direct tests for small utilities covered only indirectly elsewhere:
+the node pool, UDN endpoint management, and renderer edge cases."""
+
+import pytest
+
+from repro.machine import Machine, tile_gx
+from repro.objects import NodePool
+
+
+# -- NodePool ---------------------------------------------------------------
+
+def test_pool_recycles_nodes():
+    m = Machine(tile_gx())
+    pool = NodePool(m, node_words=2)
+    ctx = m.thread(0)
+
+    def prog():
+        a = yield from pool.alloc(ctx)
+        yield from pool.free(ctx, a)
+        b = yield from pool.alloc(ctx)
+        return a, b
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    a, b = p.result
+    assert a == b  # recycled
+    assert pool.total_allocated == 1
+
+
+def test_pool_no_recycle_mode():
+    m = Machine(tile_gx())
+    pool = NodePool(m, node_words=2, recycle=False)
+    ctx = m.thread(0)
+
+    def prog():
+        a = yield from pool.alloc(ctx)
+        yield from pool.free(ctx, a)
+        b = yield from pool.alloc(ctx)
+        return a, b
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    a, b = p.result
+    assert a != b
+    assert pool.total_allocated == 2
+
+
+def test_pool_charges_local_work_only():
+    m = Machine(tile_gx())
+    pool = NodePool(m, node_words=2, alloc_cost=5)
+    ctx = m.thread(0)
+
+    def prog():
+        yield from pool.alloc(ctx)
+        return ctx.core.busy, ctx.core.stall_total
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    busy, stall = p.result
+    assert busy == 5
+    assert stall == 0
+
+
+def test_pool_validates_node_words():
+    with pytest.raises(ValueError):
+        NodePool(Machine(tile_gx()), node_words=0)
+
+
+# -- UDN endpoint management ---------------------------------------------------
+
+def test_udn_unregister_frees_queue():
+    m = Machine(tile_gx())
+    m.thread(3, core_id=3, demux=0)
+    m.udn.unregister(3)
+    # the slot can now be taken by a different thread
+    m.udn.register(4, 3, 0)
+    assert m.udn.endpoint(4) == (3, 0)
+    with pytest.raises(KeyError):
+        m.udn.endpoint(3)
+
+
+def test_udn_unregister_with_pending_messages_rejected():
+    m = Machine(tile_gx())
+    t0 = m.thread(0)
+    m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [9])
+
+    m.spawn(t0, sender(t0))
+    m.run()
+    with pytest.raises(RuntimeError, match="pending"):
+        m.udn.unregister(1)
+
+
+def test_udn_register_bounds():
+    m = Machine(tile_gx())
+    with pytest.raises(ValueError):
+        m.udn.register(9, 99, 0)
+    with pytest.raises(ValueError):
+        m.udn.register(9, 0, 7)
+
+
+def test_udn_queue_depth_reporting():
+    m = Machine(tile_gx())
+    t0 = m.thread(0)
+    m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [1, 2, 3])
+
+    m.spawn(t0, sender(t0))
+    m.run()
+    assert m.udn.queue_depth(1) == 3
+    assert m.udn.messages_delivered == 1
+
+
+# -- contended-mesh UDN delivery path ----------------------------------------------
+
+def test_udn_over_contended_mesh_delivers_in_order():
+    m = Machine(tile_gx(contended_noc=True))
+    t0 = m.thread(0)
+    t1 = m.thread(35)
+    got = []
+
+    def sender(ctx):
+        for i in range(5):
+            yield from ctx.send(35, [i, i + 100])
+
+    def receiver(ctx):
+        for _ in range(5):
+            w = yield from ctx.receive(2)
+            got.append(tuple(w))
+
+    m.spawn(t0, sender(t0))
+    m.spawn(t1, receiver(t1))
+    m.run()
+    assert got == [(i, i + 100) for i in range(5)]
+    assert m.contended_mesh.packets_delivered >= 5

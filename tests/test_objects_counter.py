@@ -1,0 +1,159 @@
+"""Tests for LockedCounter and ArrayCS over all four approaches."""
+
+import pytest
+
+from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
+from repro.machine import Machine, tile_gx
+from repro.objects import ArrayCS, LockedCounter
+
+
+def build_prim(name, machine, optable, num_clients):
+    if name == "mp-server":
+        prim = MPServer(machine, optable, server_tid=0)
+        tids = range(1, num_clients + 1)
+    elif name == "shm-server":
+        prim = ShmServer(machine, optable, server_tid=0,
+                         client_tids=range(1, num_clients + 1))
+        tids = range(1, num_clients + 1)
+    elif name == "HybComb":
+        prim = HybComb(machine, optable)
+        tids = range(num_clients)
+    else:
+        prim = CCSynch(machine, optable)
+        tids = range(num_clients)
+    return prim, list(tids)
+
+
+def run_all(machine, prim, procs):
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+        if hasattr(prim, "stop"):
+            prim.stop()
+
+    machine.sim.spawn(coordinator(), name="coordinator")
+    machine.run()
+
+
+APPROACHES = ["mp-server", "HybComb", "shm-server", "CC-Synch"]
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+def test_counter_increment_returns_unique_tickets(name):
+    m = Machine(tile_gx(debug_checks=True))
+    table = OpTable()
+    prim, tids = build_prim(name, m, table, 6)
+    counter = LockedCounter(prim)
+    prim.start()
+    tickets = []
+
+    def client(ctx):
+        for _ in range(30):
+            t = yield from counter.increment(ctx)
+            tickets.append(t)
+            yield from ctx.work(20)
+
+    procs = []
+    for tid in tids:
+        ctx = m.thread(tid)
+        procs.append(m.spawn(ctx, client(ctx)))
+    run_all(m, prim, procs)
+    assert sorted(tickets) == list(range(180))
+    assert counter.value() == 180
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+def test_counter_read_is_linearizable_bound(name):
+    """A read seen by a thread is >= the number of its own increments."""
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim, tids = build_prim(name, m, table, 4)
+    counter = LockedCounter(prim)
+    prim.start()
+    ok = []
+
+    def client(ctx):
+        mine = 0
+        for _ in range(15):
+            yield from counter.increment(ctx)
+            mine += 1
+            seen = yield from counter.read(ctx)
+            ok.append(seen >= mine)
+
+    procs = []
+    for tid in tids:
+        ctx = m.thread(tid)
+        procs.append(m.spawn(ctx, client(ctx)))
+    run_all(m, prim, procs)
+    assert all(ok)
+
+
+@pytest.mark.parametrize("name", APPROACHES)
+def test_array_cs_increments_exactly(name):
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim, tids = build_prim(name, m, table, 4)
+    arr = ArrayCS(prim, array_words=16)
+    prim.start()
+    total = {"n": 0}
+
+    def client(ctx, k):
+        for _ in range(10):
+            r = yield from arr.run(ctx, k)
+            assert r == k
+            total["n"] += k
+            yield from ctx.work(10)
+
+    procs = []
+    for i, tid in enumerate(tids):
+        ctx = m.thread(tid)
+        procs.append(m.spawn(ctx, client(ctx, i + 1)))
+    run_all(m, prim, procs)
+    assert arr.total_increments() == total["n"]
+
+
+def test_array_cs_zero_iterations():
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim = MPServer(m, table, server_tid=0)
+    arr = ArrayCS(prim)
+    prim.start()
+    ctx = m.thread(1)
+
+    def client():
+        r = yield from arr.run(ctx, 0)
+        return r
+
+    p = m.spawn(ctx, client())
+    m.run()
+    assert p.result == 0
+    assert arr.total_increments() == 0
+
+
+def test_array_cs_validates_size():
+    m = Machine(tile_gx())
+    prim = MPServer(m, OpTable(), server_tid=0)
+    with pytest.raises(ValueError):
+        ArrayCS(prim, array_words=0)
+
+
+def test_counter_cost_scales_with_cs_length():
+    """Longer CS bodies must take proportionally longer on the server --
+    the premise of Figure 4c."""
+    durations = {}
+    for k in (1, 10):
+        m = Machine(tile_gx())
+        table = OpTable()
+        prim = MPServer(m, table, server_tid=0)
+        arr = ArrayCS(prim)
+        prim.start()
+        ctx = m.thread(1)
+
+        def client():
+            for _ in range(50):
+                yield from arr.run(ctx, k)
+
+        m.spawn(ctx, client())
+        m.run()
+        durations[k] = m.now
+    assert durations[10] > durations[1]

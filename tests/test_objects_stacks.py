@@ -1,0 +1,191 @@
+"""Correctness tests for the stack implementations (coarse-lock, Treiber)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
+from repro.machine import Machine, tile_gx
+from repro.objects import EMPTY, LockedStack, TreiberStack
+
+
+def build_stack(kind, machine, num_clients):
+    if kind == "treiber":
+        return TreiberStack(machine), [], list(range(num_clients))
+    table = OpTable()
+    if kind == "mp-server":
+        prim = MPServer(machine, table, server_tid=0)
+        tids = list(range(1, num_clients + 1))
+    elif kind == "shm-server":
+        prim = ShmServer(machine, table, server_tid=0,
+                         client_tids=range(1, num_clients + 1))
+        tids = list(range(1, num_clients + 1))
+    elif kind == "HybComb":
+        prim = HybComb(machine, table)
+        tids = list(range(num_clients))
+    else:
+        prim = CCSynch(machine, table)
+        tids = list(range(num_clients))
+    s = LockedStack(prim)
+    prim.start()
+    return s, [prim], tids
+
+
+def run_all(machine, prims, procs):
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+        for prim in prims:
+            if hasattr(prim, "stop"):
+                prim.stop()
+
+    machine.sim.spawn(coordinator(), name="coordinator")
+    machine.run()
+    for p in procs:
+        assert not p.alive
+
+
+STACK_KINDS = ["mp-server", "HybComb", "shm-server", "CC-Synch", "treiber"]
+
+
+@pytest.mark.parametrize("kind", STACK_KINDS)
+def test_sequential_lifo(kind):
+    m = Machine(tile_gx())
+    s, prims, tids = build_stack(kind, m, 1)
+    ctx = m.thread(tids[0])
+    out = []
+
+    def prog():
+        for v in range(1, 11):
+            yield from s.push(ctx, v)
+        for _ in range(10):
+            v = yield from s.pop(ctx)
+            out.append(v)
+        v = yield from s.pop(ctx)
+        out.append(v)
+
+    procs = [m.spawn(ctx, prog())]
+    run_all(m, prims, procs)
+    assert out == list(range(10, 0, -1)) + [EMPTY]
+
+
+@pytest.mark.parametrize("kind", STACK_KINDS)
+def test_pop_empty(kind):
+    m = Machine(tile_gx())
+    s, prims, tids = build_stack(kind, m, 1)
+    ctx = m.thread(tids[0])
+
+    def prog():
+        return (yield from s.pop(ctx))
+
+    procs = [m.spawn(ctx, prog())]
+    run_all(m, prims, procs)
+    assert procs[0].result == EMPTY
+
+
+@pytest.mark.parametrize("kind", STACK_KINDS)
+@pytest.mark.parametrize("seed", [1, 2])
+def test_concurrent_conservation(kind, seed):
+    """Under concurrent push/pop, no element is lost or duplicated."""
+    m = Machine(tile_gx())
+    nthreads = 5
+    s, prims, tids = build_stack(kind, m, nthreads)
+    rng = np.random.default_rng(seed)
+    N = 30
+    popped = []
+
+    def worker(ctx, pid, thinks):
+        for k in range(N):
+            yield from s.push(ctx, pid * 1000 + k)
+            yield from ctx.work(int(thinks[k]))
+            v = yield from s.pop(ctx)
+            if v != EMPTY:
+                popped.append(v)
+
+    procs = []
+    for i, tid in enumerate(tids):
+        ctx = m.thread(tid)
+        procs.append(m.spawn(ctx, worker(ctx, i + 1, rng.integers(0, 60, N))))
+    run_all(m, prims, procs)
+    remaining = s.drain_to_list()
+    expected = sorted(p * 1000 + k for p in range(1, nthreads + 1) for k in range(N))
+    assert sorted(popped + remaining) == expected
+
+
+@pytest.mark.parametrize("kind", STACK_KINDS)
+def test_own_push_pop_adjacency(kind):
+    """A thread that pushes then immediately pops with no interleaving
+    possibility (single thread) gets its own value back."""
+    m = Machine(tile_gx())
+    s, prims, tids = build_stack(kind, m, 1)
+    ctx = m.thread(tids[0])
+
+    def prog():
+        results = []
+        for v in (11, 22, 33):
+            yield from s.push(ctx, v)
+            r = yield from s.pop(ctx)
+            results.append(r)
+        return results
+
+    procs = [m.spawn(ctx, prog())]
+    run_all(m, prims, procs)
+    assert procs[0].result == [11, 22, 33]
+
+
+def test_treiber_cas_failures_grow_with_contention():
+    """The Figure 5b story: Treiber's top-pointer CAS fails increasingly
+    often as concurrency rises."""
+    def run(nthreads):
+        m = Machine(tile_gx())
+        s = TreiberStack(m)
+        fails = []
+
+        def worker(ctx):
+            for k in range(20):
+                yield from s.push(ctx, k + 1)
+                yield from s.pop(ctx)
+
+        ctxs = [m.thread(i) for i in range(nthreads)]
+        for ctx in ctxs:
+            m.spawn(ctx, worker(ctx))
+        m.run()
+        total_ops = nthreads * 40
+        total_fail = sum(ctx.core.cas_failures for ctx in ctxs)
+        return total_fail / total_ops
+
+    low = run(2)
+    high = run(12)
+    assert high > low
+
+
+def test_treiber_lifo_visible_to_concurrent_pops():
+    """Values popped by any single thread from its own recent pushes
+    respect LIFO relative to each other."""
+    m = Machine(tile_gx())
+    s = TreiberStack(m)
+    ctx = m.thread(0)
+
+    def prog():
+        yield from s.push(ctx, 1)
+        yield from s.push(ctx, 2)
+        a = yield from s.pop(ctx)
+        b = yield from s.pop(ctx)
+        return a, b
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    assert p.result == (2, 1)
+
+
+def test_locked_stack_drain_order():
+    m = Machine(tile_gx())
+    s, prims, tids = build_stack("mp-server", m, 1)
+    ctx = m.thread(tids[0])
+
+    def prog():
+        for v in (1, 2, 3):
+            yield from s.push(ctx, v)
+
+    procs = [m.spawn(ctx, prog())]
+    run_all(m, prims, procs)
+    assert s.drain_to_list() == [3, 2, 1]

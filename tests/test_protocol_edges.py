@@ -1,0 +1,237 @@
+"""Edge-case tests of the combining protocols' internal mechanics:
+node recycling, the departed-combiner slot, unfortunate interleavings,
+handover boundaries, and oversubscribed combining."""
+
+import pytest
+
+from repro.core import CCSynch, HybComb, MPServer, OpTable
+from repro.core.hybcomb import _DONE, _N_OPS, _THREAD_ID
+from repro.machine import Machine, tile_gx
+from repro.objects import LockedCounter
+
+
+def build_hybcomb(nthreads, max_ops=200, **kw):
+    m = Machine(tile_gx(debug_checks=True))
+    table = OpTable()
+    prim = HybComb(m, table, max_ops=max_ops, **kw)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in range(nthreads)]
+    return m, prim, counter, ctxs
+
+
+def run_all(m, procs):
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+
+    m.sim.spawn(coordinator())
+    m.run()
+    for p in procs:
+        assert not p.alive
+
+
+# -- HYBCOMB internals ---------------------------------------------------------
+
+def test_hybcomb_allocates_exactly_n_plus_one_nodes():
+    """The paper: "only one additional node is allocated for all n
+    threads" -- nodes are recycled through the departed slot, never
+    allocated per operation."""
+    nthreads = 6
+    m, prim, counter, ctxs = build_hybcomb(nthreads)
+
+    def client(ctx):
+        for _ in range(40):
+            yield from counter.increment(ctx)
+            yield from ctx.work(9)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+    run_all(m, procs)
+    # nodes created: one per thread (lazily) + the initial extra node
+    assert len(prim._my_node) == nthreads
+    all_nodes = set(prim._my_node.values()) | {m.mem.peek(prim.departed_addr)}
+    assert len(all_nodes) == nthreads + 1
+
+
+def test_hybcomb_node_thread_id_matches_owner_after_recycling():
+    """Invariant I2: my_node.thread_id == id(t), across many exchanges."""
+    m, prim, counter, ctxs = build_hybcomb(5, max_ops=2)
+
+    def client(ctx):
+        for _ in range(30):
+            yield from counter.increment(ctx)
+            yield from ctx.work(3)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+    run_all(m, procs)
+    for tid, node in prim._my_node.items():
+        assert m.mem.peek(node + _THREAD_ID) == tid
+
+
+def test_hybcomb_departed_node_is_closed_and_done():
+    """Between rounds, the node in the departed slot must be closed
+    (n_ops >= MAX_OPS: stale references cannot register) and done."""
+    m, prim, counter, ctxs = build_hybcomb(4, max_ops=3)
+
+    def client(ctx):
+        for _ in range(20):
+            yield from counter.increment(ctx)
+            yield from ctx.work(5)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+    run_all(m, procs)
+    departed = m.mem.peek(prim.departed_addr)
+    assert m.mem.peek(departed + _N_OPS) >= prim.max_ops
+    assert m.mem.peek(departed + _DONE) == 1
+
+
+def test_hybcomb_combiner_with_no_external_requests():
+    """The paper's "very unfortunate case": a combiner may end up with
+    only its own request.  Force it with a single thread -- every op
+    FAA-fails (the node closed at the previous round) and combines
+    alone.  Correctness must hold, only throughput suffers."""
+    m, prim, counter, ctxs = build_hybcomb(1)
+
+    def client(ctx):
+        out = []
+        for _ in range(10):
+            v = yield from counter.increment(ctx)
+            out.append(v)
+        return out
+
+    p = m.spawn(ctxs[0], client(ctxs[0]))
+    run_all(m, [p])
+    assert p.result == list(range(10))
+    assert all(ops == 1 for _t, ops in prim.combining_sessions)
+
+
+def test_hybcomb_oversubscribed_threads_share_cores():
+    """Four HYBCOMB threads per core via the demux queues (§6): the
+    algorithm is placement-oblivious as long as each thread keeps an
+    exclusive hardware queue."""
+    m = Machine(tile_gx(debug_checks=True))
+    table = OpTable()
+    prim = HybComb(m, table)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = []
+    tid = 0
+    for core in range(3):
+        for d in range(4):
+            ctxs.append(m.thread(tid, core_id=core, demux=d))
+            tid += 1
+    tickets = []
+
+    def client(ctx):
+        for _ in range(15):
+            v = yield from counter.increment(ctx)
+            tickets.append(v)
+            yield from ctx.work(10)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+    run_all(m, procs)
+    assert sorted(tickets) == list(range(12 * 15))
+
+
+# -- CC-SYNCH internals -----------------------------------------------------------
+
+def test_ccsynch_handover_mid_queue_at_max_ops():
+    """When MAX_OPS is hit with requests still queued, the thread whose
+    request was not served becomes the next combiner and serves the
+    rest -- nothing is lost at the boundary."""
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim = CCSynch(m, table, max_ops=2)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in range(8)]
+    tickets = []
+
+    def client(ctx):
+        for _ in range(25):
+            v = yield from counter.increment(ctx)
+            tickets.append(v)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+    run_all(m, procs)
+    assert sorted(tickets) == list(range(200))
+    assert max(ops for _t, ops in prim.combining_sessions) <= 2
+
+
+def test_ccsynch_spare_node_rotation():
+    """Each thread's spare node changes identity across operations (the
+    swap-with-dummy recycling), but the total node population is
+    threads + 1 (the shared dummy)."""
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim = CCSynch(m, table)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in range(4)]
+
+    def client(ctx):
+        for _ in range(20):
+            yield from counter.increment(ctx)
+            yield from ctx.work(7)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+    run_all(m, procs)
+    nodes = set(prim._spare.values()) | {m.mem.peek(prim.tail_addr)}
+    assert len(nodes) == 5
+
+
+def test_fixed_combiner_hybcomb_clients_never_combine():
+    m = Machine(tile_gx(debug_checks=True))
+    table = OpTable()
+    prim = HybComb(m, table, fixed_combiner_tid=0)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in range(1, 7)]
+    tickets = []
+
+    def client(ctx):
+        for _ in range(20):
+            v = yield from counter.increment(ctx)
+            tickets.append(v)
+            yield from ctx.work(4)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+
+    m.sim.spawn(coordinator())
+    m.run()
+    assert sorted(tickets) == list(range(120))
+    # only the fixed combiner's core ever serviced
+    assert prim.servicing_cores() == [0]
+    # clients executed no CAS at all (registration always succeeds)
+    assert all(ctx.core.cas_ops == 0 for ctx in ctxs)
+
+
+def test_fixed_combiner_ccsynch_clients_never_combine():
+    m = Machine(tile_gx())
+    table = OpTable()
+    prim = CCSynch(m, table, fixed_combiner_tid=0)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in range(1, 6)]
+    tickets = []
+
+    def client(ctx):
+        for _ in range(15):
+            v = yield from counter.increment(ctx)
+            tickets.append(v)
+            yield from ctx.work(6)
+
+    procs = [m.spawn(ctx, client(ctx)) for ctx in ctxs]
+
+    def coordinator():
+        for p in procs:
+            yield from p.join()
+
+    m.sim.spawn(coordinator())
+    m.run()
+    assert sorted(tickets) == list(range(75))
+    assert prim.servicing_cores() == [0]

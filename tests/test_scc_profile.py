@@ -1,0 +1,168 @@
+"""Tests for the SCC-like message-passing-only profile: MP-SERVER works,
+anything needing coherent shared memory is rejected."""
+
+import pytest
+
+from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
+from repro.machine import Machine, scc_like
+
+
+def test_profile_basics():
+    cfg = scc_like()
+    assert cfg.num_cores == 48
+    assert cfg.has_udn
+    assert not cfg.has_coherent_shm
+
+
+def test_private_memory_is_local_and_cheap():
+    m = Machine(scc_like())
+    a = m.mem.alloc(1)
+    ctx = m.thread(0)
+
+    def prog():
+        yield from ctx.store(a, 5)
+        v = yield from ctx.load(a)
+        return v, ctx.core.stall_mem, ctx.core.rmr
+
+    p = m.spawn(ctx, prog())
+    m.run()
+    assert p.result == (5, 0, 0)
+
+
+def test_cross_core_shared_memory_rejected():
+    m = Machine(scc_like())
+    a = m.mem.alloc(1, isolated=True)
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def writer(ctx):
+        yield from ctx.store(a, 1)
+
+    def reader(ctx):
+        yield 100
+        yield from ctx.load(a)
+
+    m.spawn(t0, writer(t0))
+    m.spawn(t1, reader(t1))
+    with pytest.raises(RuntimeError, match="no coherent shared memory"):
+        m.run()
+
+
+def test_cross_core_atomics_rejected():
+    m = Machine(scc_like())
+    a = m.mem.alloc(1, isolated=True)
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def first(ctx):
+        yield from ctx.faa(a, 1)
+
+    def second(ctx):
+        yield 100
+        yield from ctx.faa(a, 1)
+
+    m.spawn(t0, first(t0))
+    m.spawn(t1, second(t1))
+    with pytest.raises(RuntimeError, match="no coherent shared memory"):
+        m.run()
+
+
+def test_same_core_threads_may_share_private_memory():
+    """Oversubscribed threads on one core share that core's memory."""
+    m = Machine(scc_like())
+    a = m.mem.alloc(1)
+    t0 = m.thread(10, core_id=5, demux=0)
+    t1 = m.thread(11, core_id=5, demux=1)
+
+    def writer(ctx):
+        yield from ctx.store(a, 9)
+
+    def reader(ctx):
+        v = yield from ctx.spin_until(a, lambda v: v == 9)
+        return v
+
+    m.spawn(t0, writer(t0))
+    p = m.spawn(t1, reader(t1))
+    m.run()
+    assert p.result == 9
+
+
+def test_mp_server_runs_fully_on_scc():
+    """The server approach needs no shared memory at all: requests and
+    responses move over the message fabric, and the object data is
+    private to the server core."""
+    m = Machine(scc_like())
+    table = OpTable()
+    addr = m.mem.alloc(1, isolated=True)
+
+    def fetch_inc(ctx, arg):
+        v = yield from ctx.load(addr)
+        yield from ctx.store(addr, v + 1)
+        return v
+
+    opcode = table.register(fetch_inc)
+    prim = MPServer(m, table, server_tid=0)
+    prim.start()
+    tickets = []
+
+    def client(ctx):
+        for _ in range(20):
+            t = yield from prim.apply_op(ctx, opcode, 0)
+            tickets.append(t)
+            yield from ctx.work(11)
+
+    for t in range(1, 9):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx))
+    m.run()
+    assert sorted(tickets) == list(range(160))
+
+
+@pytest.mark.parametrize("prim_cls", [HybComb, CCSynch])
+def test_hybrid_algorithms_require_coherent_shm(prim_cls):
+    """HYBCOMB (and CC-SYNCH) manage synchronization state in shared
+    memory; on a message-passing-only chip they must fail fast."""
+    m = Machine(scc_like())
+    table = OpTable()
+    a = m.mem.alloc(1)
+
+    def body(ctx, arg):
+        v = yield from ctx.load(a)
+        yield from ctx.store(a, v + 1)
+        return v
+
+    opcode = table.register(body)
+    prim = prim_cls(m, table)
+    prim.start()
+
+    def client(ctx):
+        yield from prim.apply_op(ctx, opcode, 0)
+
+    for t in range(2):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx))
+    with pytest.raises(RuntimeError, match="no coherent shared memory"):
+        m.run()
+
+
+def test_shm_server_requires_coherent_shm():
+    m = Machine(scc_like())
+    table = OpTable()
+    a = m.mem.alloc(1)
+
+    def body(ctx, arg):
+        v = yield from ctx.load(a)
+        return v
+
+    opcode = table.register(body)
+    prim = ShmServer(m, table, server_tid=0, client_tids=[1, 2])
+    prim.start()
+
+    def client(ctx):
+        yield from prim.apply_op(ctx, opcode, 0)
+
+    for t in (1, 2):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx))
+    with pytest.raises(RuntimeError, match="no coherent shared memory"):
+        m.run()

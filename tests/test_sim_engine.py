@@ -1,0 +1,288 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator
+from repro.sim.engine import all_of
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_delay_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield 10
+        yield 5
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert sim.now == 15
+    assert p.result == 15
+
+
+def test_zero_delay_is_legal():
+    sim = Simulator()
+
+    def proc():
+        yield 0
+        return "done"
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.result == "done"
+    assert sim.now == 0
+
+
+def test_fifo_order_for_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield 10
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.spawn(proc(name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_processes_interleave_by_time():
+    sim = Simulator()
+    trace = []
+
+    def slow():
+        yield 10
+        trace.append(("slow", sim.now))
+
+    def fast():
+        yield 3
+        trace.append(("fast", sim.now))
+        yield 3
+        trace.append(("fast", sim.now))
+
+    sim.spawn(slow())
+    sim.spawn(fast())
+    sim.run()
+    assert trace == [("fast", 3), ("fast", 6), ("slow", 10)]
+
+
+def test_event_wakes_all_waiters_with_value():
+    sim = Simulator()
+    ev = Event(sim)
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((sim.now, v))
+
+    def trigger():
+        yield 7
+        ev.trigger("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert got == [(7, "payload"), (7, "payload")]
+
+
+def test_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger(42)
+
+    def waiter():
+        v = yield ev
+        return v
+
+    p = sim.spawn(waiter())
+    sim.run()
+    assert p.result == 42
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger()
+    with pytest.raises(RuntimeError):
+        ev.trigger()
+
+
+def test_join_returns_result():
+    sim = Simulator()
+
+    def child():
+        yield 5
+        return "child-result"
+
+    def parent():
+        c = sim.spawn(child())
+        r = yield from c.join()
+        return (sim.now, r)
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.result == (5, "child-result")
+
+
+def test_join_on_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield 1
+        return 99
+
+    def parent(c):
+        yield 10
+        r = yield from c.join()
+        return r
+
+    c = sim.spawn(child())
+    p = sim.spawn(parent(c))
+    sim.run()
+    assert p.result == 99
+
+
+def test_all_of_collects_results_in_order():
+    sim = Simulator()
+
+    def child(n):
+        yield n
+        return n * n
+
+    def parent():
+        procs = [sim.spawn(child(n)) for n in (5, 1, 3)]
+        results = yield from all_of(sim, procs)
+        return results
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.result == [25, 1, 9]
+
+
+def test_run_until_leaves_future_events_queued():
+    sim = Simulator()
+    hits = []
+
+    def proc():
+        yield 10
+        hits.append(sim.now)
+        yield 10
+        hits.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=15)
+    assert hits == [10]
+    assert sim.now == 15
+    sim.run()
+    assert hits == [10, 20]
+
+
+def test_run_until_with_no_events_advances_clock():
+    sim = Simulator()
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_call_after_callback():
+    sim = Simulator()
+    fired = []
+    sim.call_after(25, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [25]
+
+
+def test_call_at_in_past_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 10
+        sim.call_at(5, lambda: None)
+
+    sim.spawn(proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_interrupt_blocked_process():
+    sim = Simulator()
+    ev = Event(sim)
+
+    def victim():
+        try:
+            yield ev
+            return "not-interrupted"
+        except Interrupt as exc:
+            return ("interrupted", exc.cause, sim.now)
+
+    def attacker(v):
+        yield 4
+        v.interrupt("timeout")
+
+    v = sim.spawn(victim())
+    sim.spawn(attacker(v))
+    sim.run()
+    assert v.result == ("interrupted", "timeout", 4)
+    # the event's waiter list must not retain the interrupted process
+    ev.trigger()
+    sim.run()
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield 1
+        raise ValueError("boom")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_unsupported_effect_raises_typeerror():
+    sim = Simulator()
+
+    def bad():
+        yield "nonsense"
+
+    sim.spawn(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_max_events_guard():
+    sim = Simulator(max_events=10)
+
+    def spinner():
+        while True:
+            yield 1
+
+    sim.spawn(spinner())
+    with pytest.raises(RuntimeError, match="exceeded"):
+        sim.run()
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        trace = []
+
+        def proc(name, period):
+            for _ in range(5):
+                yield period
+                trace.append((name, sim.now))
+
+        sim.spawn(proc("a", 3))
+        sim.spawn(proc("b", 3))
+        sim.spawn(proc("c", 7))
+        sim.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,109 @@
+"""Tests for the tracing subsystem (TracedCtx proxy + timeline renderer)."""
+
+import pytest
+
+from repro.core import MPServer, OpTable
+from repro.machine import Machine, tile_gx
+from repro.sim.tracing import Span, Trace, TracedCtx, render_timeline
+
+
+def test_span_duration_and_trace_queries():
+    tr = Trace()
+    tr.add(0, "load", 0, 30)
+    tr.add(0, "work", 30, 40)
+    tr.add(1, "send", 5, 10)
+    assert len(tr) == 3
+    assert [s.kind for s in tr.for_thread(0)] == ["load", "work"]
+    assert tr.by_kind() == {"load": 30, "work": 10, "send": 5}
+    w = tr.window(8, 32)
+    assert len(w.spans) == 3  # all overlap [8, 32)
+    assert len(tr.window(100, 200).spans) == 0
+
+
+def test_traced_ctx_records_memory_ops():
+    m = Machine(tile_gx())
+    trace = Trace()
+    ctx = TracedCtx(m.thread(0), trace)
+    a = m.mem.alloc(1)
+
+    def prog():
+        yield from ctx.store(a, 5)
+        v = yield from ctx.load(a)
+        yield from ctx.work(10)
+        yield from ctx.faa(a, 1)
+        yield from ctx.fence()
+        return v
+
+    p = m.sim.spawn(prog())
+    m.run()
+    assert p.result == 5
+    kinds = [s.kind for s in trace.spans]
+    assert kinds == ["store", "load", "work", "faa", "fence"]
+    assert all(s.end >= s.start for s in trace.spans)
+    assert trace.spans[2].duration == 10
+
+
+def test_traced_ctx_identity_attributes():
+    m = Machine(tile_gx())
+    raw = m.thread(3)
+    ctx = TracedCtx(raw, Trace())
+    assert ctx.tid == 3
+    assert ctx.core is raw.core
+    assert ctx.machine is m
+
+
+def test_traced_ctx_works_with_real_primitive():
+    """A TracedCtx drives a full MP-SERVER round trip transparently."""
+    m = Machine(tile_gx())
+    table = OpTable()
+    a = m.mem.alloc(1)
+
+    def body(c, arg):
+        v = yield from c.load(a)
+        yield from c.store(a, v + arg)
+        return v + arg
+
+    op = table.register(body)
+    prim = MPServer(m, table, server_tid=0)
+    prim.start()
+    trace = Trace()
+    ctx = TracedCtx(m.thread(1), trace)
+
+    def client():
+        r = yield from prim.apply_op(ctx, op, 7)
+        return r
+
+    p = m.spawn(ctx._ctx, client())
+    m.run()
+    assert p.result == 7
+    kinds = [s.kind for s in trace.spans]
+    assert kinds == ["send", "receive"]
+    # the receive span covers the waiting time for the response
+    assert trace.spans[1].duration > 0
+
+
+def test_render_timeline_basic():
+    tr = Trace()
+    tr.add(0, "load", 0, 50)
+    tr.add(0, "work", 50, 100)
+    tr.add(1, "send", 0, 10)
+    tr.add(1, "receive", 10, 100)
+    out = render_timeline(tr, width=20)
+    assert "t0" in out and "t1" in out
+    assert "legend:" in out
+    assert "cycles by kind:" in out
+    # thread 0's row has both glyphs
+    row0 = [l for l in out.splitlines() if l.startswith("t0")][0]
+    assert "r" in row0 and "#" in row0
+
+
+def test_render_timeline_empty():
+    assert render_timeline(Trace()) == "[empty trace]"
+
+
+def test_render_timeline_window_and_tids():
+    tr = Trace()
+    tr.add(0, "work", 0, 1000)
+    tr.add(5, "work", 0, 1000)
+    out = render_timeline(tr, start=0, end=500, tids=[5])
+    assert "t5" in out and "t0 " not in out

@@ -1,0 +1,293 @@
+"""Tests for the hardware message-passing fabric (repro.udn)."""
+
+import pytest
+
+from repro.machine import Machine, tile_gx, x86_like
+
+
+def make_machine(**over):
+    return Machine(tile_gx(**over))
+
+
+def test_send_receive_one_word():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [42])
+
+    def receiver(ctx):
+        words = yield from ctx.receive(1)
+        return words
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    assert p.result == [42]
+
+
+def test_multiword_message_order_preserved():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [1, 2, 3])
+
+    def receiver(ctx):
+        words = yield from ctx.receive(3)
+        return words
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    assert p.result == [1, 2, 3]
+
+
+def test_messages_from_one_sender_arrive_in_order():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        for i in range(10):
+            yield from ctx.send(1, [i])
+
+    def receiver(ctx):
+        got = []
+        for _ in range(10):
+            w = yield from ctx.receive(1)
+            got.extend(w)
+        return got
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    assert p.result == list(range(10))
+
+
+def test_receive_blocks_until_arrival():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        yield 500
+        yield from ctx.send(1, [7])
+
+    def receiver(ctx):
+        w = yield from ctx.receive(1)
+        return w[0], m.now
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    v, t = p.result
+    assert v == 7
+    assert t > 500
+
+
+def test_receive_k_blocks_until_k_words():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [1])
+        yield 400
+        yield from ctx.send(1, [2])
+
+    def receiver(ctx):
+        w = yield from ctx.receive(2)
+        return w, m.now
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    w, t = p.result
+    assert w == [1, 2]
+    assert t > 400
+
+
+def test_send_is_asynchronous():
+    """The sender must proceed long before the message is delivered."""
+    m = make_machine()
+    t0 = m.thread(0)
+    t35 = m.thread(35)
+
+    def sender(ctx):
+        yield from ctx.send(35, [1])
+        return m.now
+
+    def receiver(ctx):
+        yield from ctx.receive(1)
+        return m.now
+
+    ps = m.spawn(t0, sender(t0))
+    pr = m.spawn(t35, receiver(t35))
+    m.run()
+    assert ps.result < pr.result  # sender finished before delivery
+
+
+def test_receive_from_nonempty_queue_causes_no_stall():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [5, 6, 7])
+
+    def receiver(ctx):
+        yield 1000  # message is already queued by now
+        s0 = ctx.core.stall_total
+        w0 = ctx.core.wait
+        yield from ctx.receive(3)
+        return ctx.core.stall_total - s0, ctx.core.wait - w0
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    stall, wait = p.result
+    assert stall == 0
+    assert wait == 0
+
+
+def test_is_queue_empty():
+    m = make_machine()
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        yield 100
+        yield from ctx.send(1, [1])
+
+    def receiver(ctx):
+        empty_before = yield from ctx.is_queue_empty()
+        yield 1000
+        empty_after = yield from ctx.is_queue_empty()
+        yield from ctx.receive(1)
+        empty_drained = yield from ctx.is_queue_empty()
+        return empty_before, empty_after, empty_drained
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    assert p.result == (True, False, True)
+
+
+def test_backpressure_blocks_sender_until_receiver_drains():
+    m = make_machine(udn_buffer_words=4)
+    t0 = m.thread(0)
+    t1 = m.thread(1)
+
+    def sender(ctx):
+        for _ in range(4):
+            yield from ctx.send(1, [1, 1])  # 8 words > 4-word buffer
+        return m.now
+
+    def receiver(ctx):
+        yield 2000
+        got = 0
+        while got < 8:
+            w = yield from ctx.receive(2)
+            got += len(w)
+
+    ps = m.spawn(t0, sender(t0))
+    m.spawn(t1, receiver(t1))
+    m.run()
+    assert ps.result > 2000               # sender had to wait for drains
+    assert m.udn.backpressure_cycles > 0
+
+
+def test_oversized_message_rejected():
+    m = make_machine(udn_buffer_words=4)
+    t0 = m.thread(0)
+    m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [0] * 5)
+
+    m.spawn(t0, sender(t0))
+    with pytest.raises(ValueError, match="never fit"):
+        m.run()
+
+
+def test_empty_message_rejected():
+    m = make_machine()
+    t0 = m.thread(0)
+    m.thread(1)
+
+    def sender(ctx):
+        yield from ctx.send(1, [])
+
+    m.spawn(t0, sender(t0))
+    with pytest.raises(ValueError, match="empty"):
+        m.run()
+
+
+def test_send_to_unregistered_thread_raises():
+    m = make_machine()
+    t0 = m.thread(0)
+
+    def sender(ctx):
+        yield from ctx.send(99, [1])
+
+    m.spawn(t0, sender(t0))
+    with pytest.raises(KeyError, match="not registered"):
+        m.run()
+
+
+def test_oversubscription_demux_queues_are_independent():
+    """Four threads on one core, each with its own hardware queue (§6)."""
+    m = make_machine()
+    receivers = [m.thread(tid, core_id=5, demux=d) for d, tid in enumerate((10, 11, 12, 13))]
+    sender = m.thread(0)
+
+    def send_all(ctx):
+        for tid in (13, 12, 11, 10):
+            yield from ctx.send(tid, [tid * 2])
+
+    def recv(ctx):
+        w = yield from ctx.receive(1)
+        return w[0]
+
+    procs = [m.spawn(ctx, recv(ctx)) for ctx in receivers]
+    m.spawn(sender, send_all(sender))
+    m.run()
+    assert [p.result for p in procs] == [20, 22, 24, 26]
+
+
+def test_demux_queue_collision_rejected():
+    m = make_machine()
+    m.thread(3, core_id=3, demux=0)
+    with pytest.raises(ValueError, match="already registered"):
+        m.thread(4, core_id=3, demux=0)
+
+
+def test_x86_profile_has_no_udn():
+    m = Machine(x86_like())
+    ctx = m.thread(0)
+    m.thread(1)
+
+    def sender(c):
+        yield from c.send(1, [1])
+
+    m.spawn(ctx, sender(ctx))
+    with pytest.raises(RuntimeError, match="no hardware message passing"):
+        m.run()
+
+
+def test_udn_send_charges_only_injection_cost():
+    m = make_machine()
+    t0 = m.thread(0)
+    m.thread(35)
+
+    def sender(ctx):
+        t_start = m.now
+        yield from ctx.send(35, [1, 2, 3])
+        return m.now - t_start
+
+    p = m.spawn(t0, sender(t0))
+    m.run()
+    assert p.result == m.cfg.udn_send_base + 3 * m.cfg.udn_send_per_word
