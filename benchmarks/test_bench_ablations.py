@@ -11,7 +11,6 @@
   of the coarse-lock stack under symmetric load.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.core import (
@@ -24,7 +23,7 @@ from repro.core import (
     TicketLock,
 )
 from repro.machine import Machine, tile_gx
-from repro.objects import EMPTY, EliminationStack, LockedCounter, LockedStack, TreiberStack
+from repro.objects import EliminationStack, LockedCounter, LockedStack
 from repro.workload import WorkloadSpec, run_counter_benchmark, run_workload
 from repro.workload.scenarios import build_approach
 

@@ -13,7 +13,7 @@ Shape claims asserted:
   worst-vs-best gap shrinks to ~10% at 15 loop iterations.
 """
 
-from benchmarks.conftest import print_figure, run_once, tput
+from benchmarks.conftest import print_figure, run_once
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 
 

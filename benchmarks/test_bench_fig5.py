@@ -21,8 +21,6 @@ def test_fig5a_queues(benchmark, quick):
 
     mp1 = fig.series["mp-server-1"]
     hyb1 = fig.series["HybComb-1"]
-    shm1 = fig.series["shm-server-1"]
-    cc1 = fig.series["CC-Synch-1"]
     mp2 = fig.series["mp-server-2"]
     lcrq = fig.series["LCRQ"]
     high = max(x for x in mp1.xs() if x in set(hyb1.xs()))

@@ -19,7 +19,7 @@ away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 __all__ = [

@@ -8,7 +8,7 @@ markdown tables and CSV (the precise numbers for EXPERIMENTS.md).
 from __future__ import annotations
 
 import io
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.analysis.series import FigureData
 from repro.workload.metrics import RunResult

@@ -15,7 +15,7 @@ threads (``service_threads``/``start``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.machine.machine import Machine, ThreadCtx
 

@@ -109,7 +109,8 @@ class CCSynch(SyncPrimitive):
     def _start(self) -> None:
         if self._combiner_ctx is not None:
             self.machine.spawn(self._combiner_ctx, self._fixed_loop(),
-                               name=f"ccsynch-fixed-{self.fixed_combiner_tid}")
+                               name=f"ccsynch-fixed-{self.fixed_combiner_tid}",
+                               daemon=True)
 
     def _fixed_loop(self) -> Generator[Any, Any, None]:
         """Permanent combiner (Figure 4a): walk the list forever."""

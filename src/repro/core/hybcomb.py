@@ -23,20 +23,49 @@ Invariant checking: with ``machine.cfg.debug_checks`` the implementation
 asserts the CSqueue invariants of the proof sketch (one active combiner
 at a time -- Proposition 1 -- and that a client blocked at line 14 only
 ever receives its 1-word response -- Proposition 2).
+
+Combiner lease (robustness extension)
+-------------------------------------
+Algorithm 1 is blocking: a combiner that crashes (or is preempted
+indefinitely) between registering and setting ``combining_done`` wedges
+every client registered with it *and* its successor combiner.  Passing
+``lease_cycles`` + ``request_timeout`` adds a lease/takeover protocol:
+
+* each node gains a fourth word, a **lease timestamp** the owning
+  combiner refreshes (at registration, per served op, and while waiting
+  for its predecessor);
+* a successor waiting at lines 19-20 polls ``combining_done`` *and* the
+  lease: a predecessor whose lease went stale is presumed crashed and
+  the successor **takes over** without waiting for ``done``;
+* a client whose response times out checks its combiner's lease; if
+  stale it CASes ``last_registered_combiner`` from the dead node to its
+  own and becomes the recovery combiner (re-executing its own op at
+  line 23); if the CAS loses, someone else recovered -- re-register;
+* a combiner draining registered requests (lines 33-37) bounds each
+  ``receive`` by ``request_timeout`` so a *client* crash between
+  registering and sending cannot wedge the combiner.
+
+Recovery is **at-least-once** for the operations caught in a crash: a
+combiner that crashed after executing a request but before responding
+leaves the client to retry it.  Workloads needing exactly-once should
+use MP-SERVER's sequence-numbered fault-tolerant mode.  With
+``lease_cycles=None`` (the default) Algorithm 1 runs verbatim.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Set
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.core.api import NULL_ARG, OpTable, SyncPrimitive
 from repro.machine.machine import Machine, ThreadCtx
+from repro.udn.udn import ReceiveTimeout, SendTimeout
 
 __all__ = ["HybComb"]
 
 _THREAD_ID = 0
 _N_OPS = 1
 _DONE = 2
+_LEASE = 3  # lease heartbeat timestamp (robustness extension)
 
 #: sentinel thread id for the initial extra node (the paper's "bottom")
 _NO_THREAD = (1 << 32) - 1
@@ -53,7 +82,9 @@ class HybComb(SyncPrimitive):
 
     def __init__(self, machine: Machine, optable: OpTable, max_ops: int = 200,
                  fixed_combiner_tid: Optional[int] = None,
-                 swap_after_cas_failures: Optional[int] = None):
+                 swap_after_cas_failures: Optional[int] = None,
+                 lease_cycles: Optional[int] = None,
+                 request_timeout: Optional[int] = None):
         """``fixed_combiner_tid`` enables the Figure 4a measurement mode:
         that thread becomes a permanent combiner ("equivalent to setting
         MAX_OPS = inf", footnote 4) -- its node stays registered and open
@@ -65,14 +96,32 @@ class HybComb(SyncPrimitive):
         After that many consecutive CAS failures within one apply_op, the
         thread registers unconditionally with SWAP -- trading possible
         single-op combining sessions for guaranteed registration progress
-        (no starvation through repeated CAS failure)."""
+        (no starvation through repeated CAS failure).
+
+        ``lease_cycles`` + ``request_timeout`` enable the combiner
+        lease/takeover protocol (see module docs); both must be given
+        together."""
         super().__init__(machine, optable)
         if max_ops < 1:
             raise ValueError("max_ops must be >= 1")
         if swap_after_cas_failures is not None and swap_after_cas_failures < 1:
             raise ValueError("swap_after_cas_failures must be >= 1")
+        if (lease_cycles is None) != (request_timeout is None):
+            raise ValueError("lease_cycles and request_timeout enable the "
+                             "recovery protocol together; set both or neither")
+        if lease_cycles is not None and lease_cycles < 1:
+            raise ValueError("lease_cycles must be >= 1")
+        self.lease_cycles = lease_cycles
+        self.request_timeout = request_timeout
+        self._recovery = lease_cycles is not None
+        self._lease_poll = max(1, (lease_cycles or 0) // 8)
         self.swap_after_cas_failures = swap_after_cas_failures
         self.swap_registrations = 0  #: SWAP fallbacks taken (stats)
+        self.takeovers = 0  #: stale-lease combiner takeovers (stats)
+        self.ops_retried = 0  #: client ops retried after a response timeout (stats)
+        self.combiner_recv_timeouts = 0  #: serve-loop receives abandoned (stats)
+        #: (client_tid, cycles from first timeout to completed op)
+        self.recoveries: List[Tuple[int, int]] = []
         self.fixed_combiner_tid = fixed_combiner_tid
         if fixed_combiner_tid is not None:
             max_ops = INFINITE  # registrations must never fail
@@ -100,6 +149,19 @@ class HybComb(SyncPrimitive):
             self._my_node[fixed_combiner_tid] = node
             mem.poke(self.lrc_addr, node)  # permanently registered and open
 
+    # -- recovery metrics ---------------------------------------------------
+    @property
+    def recovery_stats(self) -> Dict[str, Any]:
+        """Recovery counters consumed by :mod:`repro.workload.metrics`."""
+        ttr = max((c for _tid, c in self.recoveries), default=None)
+        return {
+            "ops_retried": self.ops_retried,
+            "takeovers": self.takeovers,
+            "combiner_recv_timeouts": self.combiner_recv_timeouts,
+            "time_to_recovery": ttr,
+            "recoveries": list(self.recoveries),
+        }
+
     # -- node management ------------------------------------------------------
     def _new_node(self, tid: int, n_ops: int, done: int) -> int:
         mem = self.machine.mem
@@ -107,6 +169,7 @@ class HybComb(SyncPrimitive):
         mem.poke(node + _THREAD_ID, tid)
         mem.poke(node + _N_OPS, n_ops)
         mem.poke(node + _DONE, done)
+        mem.poke(node + _LEASE, 0)
         return node
 
     def _node_of(self, tid: int) -> int:
@@ -119,7 +182,8 @@ class HybComb(SyncPrimitive):
     def _start(self) -> None:
         if self._combiner_ctx is not None:
             self.machine.spawn(self._combiner_ctx, self._fixed_loop(),
-                               name=f"hybcomb-fixed-{self.fixed_combiner_tid}")
+                               name=f"hybcomb-fixed-{self.fixed_combiner_tid}",
+                               daemon=True)
 
     def _fixed_loop(self) -> Generator[Any, Any, None]:
         """Permanent combiner (Figure 4a): receive / execute / respond."""
@@ -127,17 +191,58 @@ class HybComb(SyncPrimitive):
         self._service_cores.append(ctx.core.cid)
         self.current_combiner_core = ctx.core.cid
         execute = self.optable.execute
+        # with the lease protocol on, heartbeat between requests so idle
+        # periods are not mistaken for a crash
+        hb_every = None if not self._recovery else max(1, self.lease_cycles // 2)
         while True:
-            sender, fp, farg = yield from ctx.receive(3)
+            if hb_every is None:
+                sender, fp, farg = yield from ctx.receive(3)
+            else:
+                yield from ctx.store(self._my_node[ctx.tid] + _LEASE,
+                                     self.machine.now)
+                try:
+                    sender, fp, farg = yield from ctx.receive(3, timeout=hb_every)
+                except ReceiveTimeout:
+                    continue
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
 
+    # -- lease helpers ---------------------------------------------------------
+    def _heartbeat(self, ctx: ThreadCtx, my_node: int) -> Generator[Any, Any, None]:
+        yield from ctx.store(my_node + _LEASE, self.machine.now)
+
+    def _lease_stale(self, ctx: ThreadCtx, node: int) -> Generator[Any, Any, bool]:
+        lease = yield from ctx.load(node + _LEASE)
+        return self.machine.now - lease > self.lease_cycles
+
+    def _await_predecessor(self, ctx: ThreadCtx, my_node: int,
+                           prev: int) -> Generator[Any, Any, None]:
+        """Lines 19-20 with lease supervision: wait for ``prev.done``,
+        taking over if the predecessor's lease goes stale."""
+        if not self._recovery:
+            yield from ctx.spin_until(prev + _DONE, lambda v: v == 1)
+            return
+        while True:
+            done = yield from ctx.load(prev + _DONE)
+            if done == 1:
+                return
+            stale = yield from self._lease_stale(ctx, prev)
+            if stale:
+                # presumed crashed mid-section: its registered clients
+                # will recover through their own response timeouts
+                prev_tid = yield from ctx.load(prev + _THREAD_ID)
+                self._active_combiners.discard(prev_tid)
+                self.takeovers += 1
+                return
+            yield from self._heartbeat(ctx, my_node)
+            yield from ctx.work(self._lease_poll)
+
     # -- Algorithm 1 -----------------------------------------------------------
     def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
-        mem = self.machine.mem
         tid = ctx.tid
         my_node = self._node_of(tid)
         cas_failures = 0
+        first_timeout_at: Optional[int] = None
         # Lines 8-21
         while True:
             # Line 9: last_reg <- last_registered_combiner
@@ -149,14 +254,53 @@ class HybComb(SyncPrimitive):
                 combiner_tid = yield from ctx.load(last_reg + _THREAD_ID)
                 if self.machine.cfg.debug_checks:
                     assert combiner_tid != _NO_THREAD, "registered with the bottom node"
-                yield from ctx.send(combiner_tid, [tid, opcode, arg])
-                self.requests_sent += 1
-                words = yield from ctx.receive(1)
+                became_combiner = False
+                try:
+                    yield from ctx.send(combiner_tid, [tid, opcode, arg],
+                                        timeout=self.request_timeout)
+                    self.requests_sent += 1
+                    while True:
+                        try:
+                            words = yield from ctx.receive(
+                                1, timeout=self.request_timeout)
+                            break
+                        except ReceiveTimeout:
+                            self.ops_retried += 1
+                            if first_timeout_at is None:
+                                first_timeout_at = self.machine.now
+                            stale = yield from self._lease_stale(ctx, last_reg)
+                            if not stale:
+                                continue  # combiner alive, just backed up
+                            # combiner presumed dead: try to unseat it and
+                            # run recovery ourselves (our request died with
+                            # it -- re-execute as our own op at line 23)
+                            yield from self._heartbeat(ctx, my_node)
+                            ok = yield from ctx.cas(self.lrc_addr, last_reg, my_node)
+                            if ok:
+                                became_combiner = True
+                                yield from ctx.store(my_node + _N_OPS, 0)
+                                yield from self._await_predecessor(
+                                    ctx, my_node, last_reg)
+                            raise
+                except SendTimeout:
+                    self.ops_retried += 1
+                    if first_timeout_at is None:
+                        first_timeout_at = self.machine.now
+                    continue  # re-read lrc and re-register
+                except ReceiveTimeout:
+                    if became_combiner:
+                        break  # fall through to the combiner section
+                    continue  # someone else recovered; re-register
                 if self.machine.cfg.debug_checks:
                     # Proposition 2: only the 1-word response can arrive here
                     assert len(words) == 1
+                if first_timeout_at is not None:
+                    self.recoveries.append(
+                        (tid, self.machine.now - first_timeout_at))
                 return words[0]
             # Lines 16-21: failure -- try to register as combiner
+            if self._recovery:
+                yield from self._heartbeat(ctx, my_node)
             if (self.swap_after_cas_failures is not None
                     and cas_failures >= self.swap_after_cas_failures):
                 # the suggested middle ground: SWAP always succeeds
@@ -169,7 +313,7 @@ class HybComb(SyncPrimitive):
                 # Line 18: open our node for registrations
                 yield from ctx.store(my_node + _N_OPS, 0)
                 # Lines 19-20: wait for the previous combiner to finish
-                yield from ctx.spin_until(last_reg + _DONE, lambda v: v == 1)
+                yield from self._await_predecessor(ctx, my_node, last_reg)
                 break
             cas_failures += 1
         # ---- combiner section (lines 23-43, in mutual exclusion) ----
@@ -182,6 +326,8 @@ class HybComb(SyncPrimitive):
             self._service_cores.append(ctx.core.cid)
         self.current_combiner_core = ctx.core.cid
         execute = self.optable.execute
+        if self._recovery:
+            yield from self._heartbeat(ctx, my_node)
         # Line 23: own operation first
         retval = yield from execute(ctx, opcode, arg)
         self.self_combined += 1
@@ -195,16 +341,29 @@ class HybComb(SyncPrimitive):
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
             ops_completed += 1
+            if self._recovery:
+                yield from self._heartbeat(ctx, my_node)
         # Lines 29-32: close combining for new requests
         total_ops = yield from ctx.swap(my_node + _N_OPS, self.max_ops)
         if total_ops > self.max_ops:
             total_ops = self.max_ops
-        # Lines 33-37: serve the remaining registered requests
+        # Lines 33-37: serve the remaining registered requests.  With the
+        # lease on, a registered client that crashed before sending must
+        # not wedge us: bound the receive and move on.
         while ops_completed < total_ops:
-            sender, fp, farg = yield from ctx.receive(3)
+            try:
+                sender, fp, farg = yield from ctx.receive(
+                    3, timeout=self.request_timeout)
+            except ReceiveTimeout:
+                self.combiner_recv_timeouts += 1
+                ops_completed += 1
+                yield from self._heartbeat(ctx, my_node)
+                continue
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
             ops_completed += 1
+            if self._recovery:
+                yield from self._heartbeat(ctx, my_node)
         # Lines 38-42: exchange nodes with the departed-combiner slot,
         # then release the next combiner.  (The paper notes the SWAP at
         # line 39 is "only for brevity; an atomic operation is not needed
@@ -221,6 +380,8 @@ class HybComb(SyncPrimitive):
             self._active_combiners.discard(tid)
         self.record_session(1 + ops_completed)
         yield from ctx.store(old_node + _DONE, 1)        # line 42
+        if first_timeout_at is not None:
+            self.recoveries.append((tid, self.machine.now - first_timeout_at))
         return retval                                     # line 43
 
     def servicing_cores(self) -> List[int]:

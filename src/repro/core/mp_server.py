@@ -18,19 +18,61 @@ Section 6's deadlock argument holds here by construction: a client has
 at most one outstanding request, so its queue holds at most one message,
 and a client blocked sending a request (server buffer full) is
 equivalent to its normal blocking receive.
+
+Fault tolerance (robustness extension)
+--------------------------------------
+The paper argues deadlock-freedom only for the healthy case: if the
+server thread crashes, every client blocks forever.  Passing
+``request_timeout`` (and optionally ``backup_tid``) enables a
+fail-over protocol layered on the same message format ideas:
+
+* requests carry a per-client **sequence number** --
+  ``{client_tid, seq, opcode, arg}`` -- and responses echo it
+  (``{seq, retval}``), so late or duplicated responses are discarded;
+* each server records ``(last committed seq, retval)`` per client in a
+  shared-memory **dedup table**.  Execution and the table update form an
+  atomic commit (a crash shield); a retried request whose sequence
+  number was already committed returns the recorded result without
+  re-executing -- retries are therefore idempotent;
+* clients use timed send/receive: on expiry they back off exponentially
+  (bounded), fail over to the backup server, and retry the *same*
+  sequence number.  Both servers share the dedup table, so at-most-once
+  execution holds across the fail-over.
+
+The protocol assumes fail-stop crashes (a crashed server executes
+nothing more).  A server preempted for longer than the client timeout
+can, like any lease-free primary/backup scheme, execute a request the
+backup also executed -- keep preemption slices shorter than the timeout
+(see :mod:`repro.faults`).
+
+With fault tolerance disabled (the default), the legacy 3-word protocol
+and its measured behaviour are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.api import NULL_ARG, OpTable, SyncPrimitive
 from repro.machine.machine import Machine, ThreadCtx
+from repro.udn.udn import ReceiveTimeout, SendTimeout
 
-__all__ = ["MPServer"]
+__all__ = ["MPServer", "ServerUnavailable"]
 
-#: request message layout: [client_tid, opcode, arg]
+#: legacy request message layout: [client_tid, opcode, arg]
 REQUEST_WORDS = 3
+#: fault-tolerant request layout: [client_tid, seq, opcode, arg]
+FT_REQUEST_WORDS = 4
+#: fault-tolerant response layout: [seq, retval]
+FT_RESPONSE_WORDS = 2
+
+#: dedup-table slot layout (one cache line per client)
+_SLOT_SEQ = 0
+_SLOT_RETVAL = 1
+
+
+class ServerUnavailable(RuntimeError):
+    """No configured server responded within the retry budget."""
 
 
 class MPServer(SyncPrimitive):
@@ -40,7 +82,11 @@ class MPServer(SyncPrimitive):
     name = "mp-server"
 
     def __init__(self, machine: Machine, optable: OpTable, server_tid: int = 0,
-                 server_core: int | None = None, nested_tid: int | None = None):
+                 server_core: Optional[int] = None, nested_tid: Optional[int] = None,
+                 backup_tid: Optional[int] = None, backup_core: Optional[int] = None,
+                 request_timeout: Optional[int] = None,
+                 backoff_base: int = 64, backoff_cap: int = 4096,
+                 max_attempts: int = 16):
         """``nested_tid`` enables *nested critical sections* (the RCL
         feature the paper's simplified SHM-SERVER omits): it registers a
         second hardware queue (demux 1) on the server core under that
@@ -50,7 +96,14 @@ class MPServer(SyncPrimitive):
         the nested response arrives on the alias queue and never mixes
         with this server's incoming requests.  Nesting must be acyclic
         across servers (A -> B is fine; A -> B -> A deadlocks, exactly
-        as on real hardware)."""
+        as on real hardware).
+
+        ``request_timeout`` (cycles) switches to the fault-tolerant
+        protocol (see module docs); ``backup_tid``/``backup_core`` add a
+        hot-standby server thread clients fail over to.  ``backoff_base``
+        / ``backoff_cap`` bound the exponential retry backoff, and
+        ``max_attempts`` bounds total attempts per operation before
+        :class:`ServerUnavailable` is raised."""
         super().__init__(machine, optable)
         self.server_tid = server_tid
         self.server_ctx = machine.thread(server_tid, core_id=server_core)
@@ -59,14 +112,71 @@ class MPServer(SyncPrimitive):
             self.nested_ctx = machine.thread(
                 nested_tid, core_id=self.server_ctx.core.cid, demux=1
             )
+        # -- fault-tolerance configuration --------------------------------
+        if backup_tid is not None and request_timeout is None:
+            raise ValueError("a backup server requires request_timeout "
+                             "(clients fail over on timeout)")
+        self.fault_tolerant = request_timeout is not None
+        self.request_timeout = request_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_attempts = max_attempts
+        self.backup_tid = backup_tid
+        self.backup_ctx: Optional[ThreadCtx] = None
+        self._server_tids = [server_tid]
+        if backup_tid is not None:
+            self.backup_ctx = machine.thread(backup_tid, core_id=backup_core)
+            self._server_tids.append(backup_tid)
+            self.service_threads = 2
+        # shared-memory dedup table: one line per client, lazily allocated
+        self._dedup_slots: Dict[int, int] = {}
+        # client-local protocol state (thread-local in a real system)
+        self._client_seq: Dict[int, int] = {}
+        self._client_server: Dict[int, int] = {}
         #: requests served (stats)
         self.requests_served = 0
+        #: retried requests after a timeout (stats)
+        self.ops_retried = 0
+        #: re-sent requests answered from the dedup table (stats)
+        self.duplicates_suppressed = 0
+        #: client fail-overs between servers (stats)
+        self.failovers = 0
+        #: (client_tid, cycles from first timeout to completed op)
+        self.recoveries: List[Tuple[int, int]] = []
+
+    # -- recovery metrics ---------------------------------------------------
+    @property
+    def recovery_stats(self) -> Dict[str, Any]:
+        """Recovery counters consumed by :mod:`repro.workload.metrics`."""
+        ttr = max((c for _tid, c in self.recoveries), default=None)
+        return {
+            "ops_retried": self.ops_retried,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "failovers": self.failovers,
+            "time_to_recovery": ttr,
+            "recoveries": list(self.recoveries),
+        }
+
+    def _slot_for(self, client_tid: int) -> int:
+        slot = self._dedup_slots.get(client_tid)
+        if slot is None:
+            mem = self.machine.mem
+            slot = mem.alloc(self.machine.cfg.line_words, isolated=True)
+            mem.poke(slot + _SLOT_SEQ, 0)
+            mem.poke(slot + _SLOT_RETVAL, 0)
+            self._dedup_slots[client_tid] = slot
+        return slot
 
     def _start(self) -> None:
-        self.machine.spawn(self.server_ctx, self._server_loop(), name=f"mp-server-{self.server_tid}")
+        loop = self._ft_server_loop if self.fault_tolerant else self._server_loop
+        self.machine.spawn(self.server_ctx, loop(self.server_ctx),
+                           name=f"mp-server-{self.server_tid}", daemon=True)
+        if self.backup_ctx is not None:
+            self.machine.spawn(self.backup_ctx, self._ft_server_loop(self.backup_ctx),
+                               name=f"mp-server-backup-{self.backup_tid}", daemon=True)
 
-    def _server_loop(self) -> Generator[Any, Any, None]:
-        ctx = self.server_ctx
+    # -- legacy (fault-free) protocol ---------------------------------------
+    def _server_loop(self, ctx: ThreadCtx) -> Generator[Any, Any, None]:
         execute = self.optable.execute
         while True:
             sender, opcode, arg = yield from ctx.receive(REQUEST_WORDS)
@@ -74,10 +184,83 @@ class MPServer(SyncPrimitive):
             yield from ctx.send(sender, [retval])
             self.requests_served += 1
 
+    # -- fault-tolerant protocol --------------------------------------------
+    def _ft_server_loop(self, ctx: ThreadCtx) -> Generator[Any, Any, None]:
+        proc = self.machine.sim.current
+        execute = self.optable.execute
+        while True:
+            sender, seq, opcode, arg = yield from ctx.receive(FT_REQUEST_WORDS)
+            slot = self._slot_for(sender)
+            last = yield from ctx.load(slot + _SLOT_SEQ)
+            if seq <= last:
+                # a retry of an op this table already committed: answer
+                # from the record, never re-execute (idempotence)
+                retval = yield from ctx.load(slot + _SLOT_RETVAL)
+                self.duplicates_suppressed += 1
+            else:
+                # execute + record commit atomically w.r.t. crashes: a
+                # fail-stop kill inside the shield lands after the record,
+                # so a client retry is either deduped or re-executed from
+                # an untouched object -- never half of each
+                proc.shield_begin()
+                try:
+                    retval = yield from execute(ctx, opcode, arg)
+                    yield from ctx.store(slot + _SLOT_RETVAL, retval)
+                    yield from ctx.store(slot + _SLOT_SEQ, seq)
+                finally:
+                    proc.shield_end()
+            yield from ctx.send(sender, [seq, retval])
+            self.requests_served += 1
+
     def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
-        yield from ctx.send(self.server_tid, [ctx.tid, opcode, arg])
-        words = yield from ctx.receive(1)
-        return words[0]
+        if not self.fault_tolerant:
+            yield from ctx.send(self.server_tid, [ctx.tid, opcode, arg])
+            words = yield from ctx.receive(1)
+            return words[0]
+        return (yield from self._ft_apply_op(ctx, opcode, arg))
+
+    def _ft_apply_op(self, ctx: ThreadCtx, opcode: int, arg: int) -> Generator[Any, Any, int]:
+        tid = ctx.tid
+        seq = self._client_seq.get(tid, 0) + 1
+        self._client_seq[tid] = seq
+        servers = self._server_tids
+        self._client_server.setdefault(tid, 0)
+        first_timeout_at: Optional[int] = None
+        attempt = 0
+        while True:
+            target = servers[self._client_server[tid]]
+            try:
+                yield from ctx.send(target, [tid, seq, opcode, arg],
+                                    timeout=self.request_timeout)
+                while True:
+                    rseq, retval = yield from ctx.receive(
+                        FT_RESPONSE_WORDS, timeout=self.request_timeout)
+                    if rseq == seq:
+                        break
+                    # a late response to a superseded attempt: discard
+                if first_timeout_at is not None:
+                    self.recoveries.append((tid, self.machine.now - first_timeout_at))
+                return retval
+            except (SendTimeout, ReceiveTimeout):
+                attempt += 1
+                self.ops_retried += 1
+                if first_timeout_at is None:
+                    first_timeout_at = self.machine.now
+                if attempt >= self.max_attempts:
+                    raise ServerUnavailable(
+                        f"thread {tid}: op seq {seq} got no response from "
+                        f"servers {servers} after {attempt} attempts"
+                    ) from None
+                if len(servers) > 1:
+                    self._client_server[tid] = (
+                        self._client_server[tid] + 1) % len(servers)
+                    self.failovers += 1
+                backoff = min(self.backoff_base << (attempt - 1), self.backoff_cap)
+                ctx.core.wait += backoff
+                yield backoff
 
     def servicing_cores(self) -> List[int]:
-        return [self.server_ctx.core.cid]
+        cores = [self.server_ctx.core.cid]
+        if self.backup_ctx is not None:
+            cores.append(self.backup_ctx.core.cid)
+        return cores

@@ -81,7 +81,8 @@ class ShmServer(SyncPrimitive):
         self._stopped = True
 
     def _start(self) -> None:
-        self.machine.spawn(self.server_ctx, self._server_loop(), name=f"shm-server-{self.server_tid}")
+        self.machine.spawn(self.server_ctx, self._server_loop(),
+                           name=f"shm-server-{self.server_tid}", daemon=True)
 
     def _server_loop(self) -> Generator[Any, Any, None]:
         """Round-robin scan of all client channels (the RCL server loop)."""

@@ -19,7 +19,7 @@ aspects), plus a NoC-contention ablation of our own simulator.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.analysis.series import FigureData
 from repro.core import MPServer, OpTable

@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.series import FigureData
 from repro.workload.driver import WorkloadSpec

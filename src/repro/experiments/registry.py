@@ -23,6 +23,7 @@ from repro.experiments.discussion import (
     run_scc_comparison,
     run_x86_comparison,
 )
+from repro.experiments.faults import run_fault_recovery
 from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig5 import run_fig5a, run_fig5b
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., FigureData]] = {
     "disc-oversub": run_oversubscription,
     "disc-backpressure": run_backpressure,
     "disc-noc": run_noc_ablation,
+    "disc-faults": run_fault_recovery,
 }
 
 #: which metric each figure plots
@@ -126,6 +128,12 @@ def main(argv=None) -> int:
                 "svc_cycles_per_op": lambda r: r.service_cycles_per_op,
                 "svc_stall_per_op": lambda r: r.service_stall_per_op,
                 "cas_per_op": lambda r: r.cas_per_op,
+                "time_to_recovery_cycles": lambda r: (
+                    r.time_to_recovery_cycles
+                    if r.time_to_recovery_cycles is not None else 0.0),
+                "ops_retried": lambda r: float(r.ops_retried),
+                "duplicates_suppressed": lambda r: float(r.duplicates_suppressed),
+                "failovers": lambda r: float(r.failovers),
             }
             with open(path, "w") as f:
                 f.write(to_csv(fig, metrics))

@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the simulated machine.
+
+A :class:`FaultPlan` is a declarative, seeded description of the faults
+to inject into one run -- thread crashes (fail-stop), duty-cycle
+preemption, core slowdown, and bounded jitter on message-network transit
+times.  A :class:`FaultInjector` installs a plan onto a
+:class:`~repro.machine.machine.Machine` before the run starts.
+
+Everything is driven by the simulation clock and a seeded PRNG, so a
+given (plan, workload) pair replays identically: same crash cycles,
+same preemption slices, same jitter per message.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CrashThread,
+    FaultPlan,
+    PreemptThread,
+    SlowThread,
+    UdnJitter,
+)
+
+__all__ = [
+    "CrashThread",
+    "FaultInjector",
+    "FaultPlan",
+    "PreemptThread",
+    "SlowThread",
+    "UdnJitter",
+]

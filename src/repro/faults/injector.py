@@ -1,0 +1,119 @@
+"""Installing a :class:`~repro.faults.plan.FaultPlan` onto a machine.
+
+The injector is pure scheduling glue: it translates declarative fault
+descriptions into simulator callbacks (crashes, suspension patterns) and
+a seeded jitter hook on the UDN fabric.  All scheduling happens through
+``Simulator.call_at``, so faults interleave deterministically with the
+workload under the engine's FIFO tie-breaking.
+
+Install *after* the workload's threads exist (fault targets are looked
+up lazily by thread id at fire time, so installing right before
+``machine.run()`` also works) and *before* the run starts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.faults.plan import (
+    CrashThread,
+    FaultPlan,
+    PreemptThread,
+    SlowThread,
+    UdnJitter,
+)
+from repro.machine.machine import Machine
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Arms a fault plan against a machine.  One injector per run."""
+
+    def __init__(self, machine: Machine, plan: FaultPlan):
+        self.machine = machine
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._installed = False
+        #: (cycle, tid, process-name) for every process actually killed
+        self.crashes: List[tuple] = []
+
+    def install(self) -> "FaultInjector":
+        """Schedule every fault in the plan.  Idempotence-guarded."""
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        jitter_bound = 0
+        for fault in self.plan.faults:
+            if isinstance(fault, CrashThread):
+                self._arm_crash(fault)
+            elif isinstance(fault, PreemptThread):
+                self._arm_duty_cycle(fault.tid, fault.start_cycle,
+                                     fault.run_cycles, fault.preempt_cycles,
+                                     fault.until_cycle)
+            elif isinstance(fault, SlowThread):
+                # a slowdown by ``factor`` is a duty cycle of ``quantum``
+                # progress cycles followed by the matching stall
+                stall = max(1, int(round((fault.factor - 1.0) * fault.quantum)))
+                self._arm_duty_cycle(fault.tid, fault.start_cycle,
+                                     fault.quantum, stall, fault.until_cycle)
+            elif isinstance(fault, UdnJitter):
+                jitter_bound = max(jitter_bound, fault.max_cycles)
+            else:  # pragma: no cover - plan validates membership
+                raise TypeError(f"unknown fault {fault!r}")
+        if jitter_bound:
+            self._arm_jitter(jitter_bound)
+        return self
+
+    # -- individual fault mechanisms --------------------------------------
+    def _live_procs(self, tid: int) -> List[Any]:
+        return [p for p in self.machine.procs_of(tid) if p.alive]
+
+    def _arm_crash(self, fault: CrashThread) -> None:
+        def fire() -> None:
+            for proc in self._live_procs(fault.tid):
+                proc.kill(fault)
+                self.crashes.append((self.machine.now, fault.tid, proc.name))
+
+        self.machine.sim.call_at(fault.at_cycle, fire)
+
+    def _arm_duty_cycle(self, tid: int, start: int, run_cycles: int,
+                        off_cycles: int, until: Any) -> None:
+        sim = self.machine.sim
+
+        def tick() -> None:
+            now = sim.now
+            if until is not None and now >= until:
+                return
+            victims = self._live_procs(tid)
+            if not victims:
+                return  # target finished or crashed: controller retires
+            for proc in victims:
+                proc.suspend_until(now + off_cycles)
+            sim.call_at(now + off_cycles + run_cycles, tick)
+
+        # the first preemption lands after one run slice
+        sim.call_at(start + run_cycles, tick)
+
+    def _arm_jitter(self, max_cycles: int) -> None:
+        udn = self.machine.udn
+        if udn is None:
+            raise ValueError("UdnJitter requires a machine profile with "
+                             "hardware message passing")
+        if udn.transit_jitter is not None:
+            raise RuntimeError("UDN transit jitter hook already installed")
+        rng = self._rng
+
+        def jitter(src_core: int, dst_core: int, n_words: int) -> int:
+            return int(rng.integers(0, max_cycles + 1))
+
+        udn.transit_jitter = jitter
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "seed": self.plan.seed,
+            "faults": len(self.plan.faults),
+            "crashes": list(self.crashes),
+        }

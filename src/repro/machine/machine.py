@@ -63,6 +63,7 @@ class Machine:
             else None
         )
         self._threads: Dict[int, "ThreadCtx"] = {}
+        self._procs_by_tid: Dict[int, List[Process]] = {}
 
     # -- thread management ----------------------------------------------
     def thread(self, tid: int, core_id: Optional[int] = None, demux: int = 0) -> "ThreadCtx":
@@ -85,9 +86,21 @@ class Machine:
         self._threads[tid] = ctx
         return ctx
 
-    def spawn(self, ctx: "ThreadCtx", gen: Generator, name: Optional[str] = None) -> Process:
-        """Run ``gen`` as ``ctx``'s program."""
-        return self.sim.spawn(gen, name=name or f"t{ctx.tid}")
+    def spawn(self, ctx: "ThreadCtx", gen: Generator, name: Optional[str] = None,
+              daemon: bool = False) -> Process:
+        """Run ``gen`` as ``ctx``'s program.
+
+        ``daemon`` marks service loops that may idle forever (exempt from
+        deadlock detection).  The process is recorded under ``ctx.tid``
+        so the fault injector can target it by thread id.
+        """
+        proc = self.sim.spawn(gen, name=name or f"t{ctx.tid}", daemon=daemon)
+        self._procs_by_tid.setdefault(ctx.tid, []).append(proc)
+        return proc
+
+    def procs_of(self, tid: int) -> List[Process]:
+        """All processes ever spawned for thread ``tid`` (fault targeting)."""
+        return list(self._procs_by_tid.get(tid, ()))
 
     def run(self, until: Optional[int] = None) -> None:
         self.sim.run(until=until)
@@ -145,11 +158,13 @@ class ThreadCtx:
         return (yield from self.mem.spin_until(self.core, addr, pred))
 
     # -- hardware message passing -------------------------------------------
-    def send(self, dst_tid: int, words: Sequence[int]) -> Generator[Any, Any, None]:
-        yield from self._udn().send(self.core, dst_tid, words)
+    def send(self, dst_tid: int, words: Sequence[int],
+             timeout: Optional[int] = None) -> Generator[Any, Any, None]:
+        yield from self._udn().send(self.core, dst_tid, words, timeout=timeout)
 
-    def receive(self, k: int = 1) -> Generator[Any, Any, List[int]]:
-        return (yield from self._udn().receive(self.core, self.tid, k))
+    def receive(self, k: int = 1,
+                timeout: Optional[int] = None) -> Generator[Any, Any, List[int]]:
+        return (yield from self._udn().receive(self.core, self.tid, k, timeout=timeout))
 
     def is_queue_empty(self) -> Generator[Any, Any, bool]:
         return (yield from self._udn().is_queue_empty(self.core, self.tid))

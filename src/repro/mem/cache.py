@@ -55,11 +55,12 @@ class _Line:
 
     __slots__ = ("owner", "sharers", "res", "cond")
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, line_no: int):
         self.owner: Optional[int] = None          # core id holding M
         self.sharers: Set[int] = set()            # core ids holding S
         self.res = Resource(sim, capacity=1)      # serializes transactions
-        self.cond = Condition(sim)                # wakes spinners on writes
+        # wakes spinners on writes (labelled for deadlock diagnostics)
+        self.cond = Condition(sim, label=f"invalidation of cache line {line_no}")
 
 
 class CoherentMemory:
@@ -97,7 +98,7 @@ class CoherentMemory:
     def _line(self, line: int) -> _Line:
         entry = self._lines.get(line)
         if entry is None:
-            entry = _Line(self.sim)
+            entry = _Line(self.sim, line)
             self._lines[line] = entry
         return entry
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.core.api import SyncPrimitive
-from repro.machine.machine import Machine, ThreadCtx
+from repro.machine.machine import ThreadCtx
 
 __all__ = ["LockedCounter", "ArrayCS"]
 

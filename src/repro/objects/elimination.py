@@ -27,7 +27,6 @@ from typing import Any, Generator, List
 import numpy as np
 
 from repro.machine.machine import Machine, ThreadCtx
-from repro.objects.base import EMPTY
 
 __all__ = ["EliminationStack"]
 

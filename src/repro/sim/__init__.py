@@ -15,7 +15,14 @@ effects are an ``int`` (advance simulated time) and an
 those two via ``yield from``.
 """
 
-from repro.sim.engine import Event, Interrupt, Process, Simulator
+from repro.sim.engine import (
+    DeadlockError,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    WaitTimer,
+)
 from repro.sim.resources import Barrier, Channel, Condition, Resource, Semaphore
 from repro.sim.tracing import Trace, TracedCtx, render_timeline
 
@@ -23,12 +30,14 @@ __all__ = [
     "Barrier",
     "Channel",
     "Condition",
+    "DeadlockError",
     "Event",
     "Interrupt",
     "Process",
     "Resource",
     "Semaphore",
     "Simulator",
+    "WaitTimer",
     "Trace",
     "TracedCtx",
     "render_timeline",

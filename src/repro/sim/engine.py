@@ -24,6 +24,21 @@ Events scheduled for the same cycle fire in FIFO order of scheduling
 (ties broken by a monotonically increasing sequence number), so a given
 program produces the exact same execution every run.  All randomness in
 higher layers flows from seeded generators.
+
+Fault semantics
+---------------
+Every scheduled resumption carries the target process's *resume
+generation* at scheduling time; stale entries (the process was since
+interrupted, killed or resumed through another path) are dropped when
+popped.  This makes :meth:`Process.interrupt` safe in every blocked
+state -- waiting on an event, sleeping on an ``int`` delay, or already
+scheduled to run -- and is what the fault-injection layer
+(:mod:`repro.faults`) builds on.  :meth:`Process.kill` models a
+fail-stop crash: the generator is abandoned *without* running its
+``finally`` blocks (a crashed thread executes nothing).  When the event
+heap drains while live non-daemon processes are still blocked,
+:meth:`Simulator.run` raises :class:`DeadlockError` naming each blocked
+process and what it waits on, instead of returning silently.
 """
 
 from __future__ import annotations
@@ -31,7 +46,14 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
-__all__ = ["Event", "Interrupt", "Process", "Simulator"]
+__all__ = [
+    "DeadlockError",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "WaitTimer",
+]
 
 
 class Interrupt(Exception):
@@ -42,6 +64,20 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class DeadlockError(RuntimeError):
+    """The event heap drained while live processes were still blocked.
+
+    ``blocked`` holds the deadlocked :class:`Process` objects (daemon
+    processes -- e.g. server loops that legitimately idle forever -- are
+    excluded).  The message names every blocked process and the event or
+    condition it waits on, which turns a silent hang into a diagnosis.
+    """
+
+    def __init__(self, message: str, blocked: List["Process"]):
+        super().__init__(message)
+        self.blocked = blocked
+
+
 class Event:
     """A one-shot condition that processes can wait on.
 
@@ -49,15 +85,17 @@ class Event:
     (by yielding it); when :meth:`trigger` is called, all waiters are
     resumed at the current simulation time and receive ``value``.
     Processes that yield an already-triggered event resume immediately
-    (zero-cycle delay) with the stored value.
+    (zero-cycle delay) with the stored value.  ``label`` is a free-form
+    description used by deadlock diagnostics.
     """
 
-    __slots__ = ("sim", "triggered", "value", "_waiters")
+    __slots__ = ("sim", "triggered", "value", "label", "_waiters")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator", label: Optional[str] = None):
         self.sim = sim
         self.triggered = False
         self.value: Any = None
+        self.label = label
         self._waiters: List[Process] = []
 
     def trigger(self, value: Any = None) -> None:
@@ -70,6 +108,9 @@ class Event:
         schedule = self.sim._schedule_resume
         for proc in waiters:
             schedule(proc, value)
+
+    def describe(self) -> str:
+        return self.label or "anonymous event"
 
     # -- engine internal -------------------------------------------------
     def _add_waiter(self, proc: "Process") -> None:
@@ -95,16 +136,44 @@ class Process:
     otherwise corrupt benchmark results.
     """
 
-    __slots__ = ("sim", "gen", "name", "alive", "result", "_done_event", "_waiting_on")
+    __slots__ = (
+        "sim",
+        "gen",
+        "name",
+        "alive",
+        "daemon",
+        "killed",
+        "result",
+        "_done_event",
+        "_waiting_on",
+        "_resume_gen",
+        "_shield",
+        "_pending_kill",
+        "_suspended_until",
+    )
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = "?"):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "?",
+                 daemon: bool = False):
         self.sim = sim
         self.gen = gen
         self.name = name
         self.alive = True
+        #: daemon processes (server loops etc.) may legitimately remain
+        #: blocked forever; they are exempt from deadlock detection
+        self.daemon = daemon
+        #: set when the process was removed via :meth:`kill` (crash model)
+        self.killed = False
         self.result: Any = None
         self._done_event = Event(sim)
         self._waiting_on: Optional[Event] = None
+        #: resume generation: every scheduled wakeup carries the value at
+        #: scheduling time and is dropped if the process was resumed or
+        #: interrupted through another path in between
+        self._resume_gen = 0
+        #: depth of crash-shielded (atomic-commit) regions
+        self._shield = 0
+        self._pending_kill: Any = None
+        self._suspended_until = 0
 
     def join(self) -> Generator[Any, Any, Any]:
         """``yield from proc.join()`` waits for termination, returns its result."""
@@ -112,25 +181,155 @@ class Process:
             yield self._done_event
         return self.result
 
+    def blocked_event(self) -> Optional[Event]:
+        """The event this process is genuinely parked on, else ``None``.
+
+        ``None`` also when a wakeup is already scheduled (the awaited
+        event has triggered but the process has not stepped yet) -- used
+        by :class:`WaitTimer` so a timeout racing a same-cycle arrival
+        deterministically loses to the arrival.
+        """
+        ev = self._waiting_on
+        if ev is not None and self in ev._waiters:
+            return ev
+        return None
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current cycle.
 
-        Only valid while the process is blocked on an event (the normal
-        case for e.g. cancelling a blocked receive).  The interrupted
-        process is removed from the event's waiter list.
+        Safe in every blocked state: waiting on an event, sleeping on an
+        ``int`` delay, or already scheduled to resume.  Any previously
+        scheduled wakeup is invalidated (resume-generation guard), so the
+        process is stepped exactly once -- with the interrupt.
         """
         if not self.alive:
             return
         if self._waiting_on is not None:
             self._waiting_on._discard_waiter(self)
             self._waiting_on = None
+        self._resume_gen += 1  # cancel any pending resume (e.g. an int sleep)
         self.sim._schedule_throw(self, Interrupt(cause))
 
+    def kill(self, cause: Any = None) -> None:
+        """Fail-stop crash: the process stops executing, immediately.
+
+        Unlike :meth:`interrupt`, no exception is delivered and no
+        ``finally`` blocks run -- a crashed hardware thread executes
+        nothing.  Anything blocked on :meth:`join` is released with a
+        ``None`` result and :attr:`killed` is set.  Inside a shielded
+        region (:meth:`shield_begin`) the crash is deferred to the end of
+        the region, modelling an atomic commit.
+        """
+        if not self.alive:
+            return
+        if self._shield > 0:
+            self._pending_kill = cause if cause is not None else True
+            return
+        self._do_kill(cause)
+
+    # -- crash shields ---------------------------------------------------
+    def shield_begin(self) -> None:
+        """Enter a region in which :meth:`kill` is deferred (atomic commit)."""
+        self._shield += 1
+
+    def shield_end(self) -> None:
+        """Leave a shielded region; a deferred kill lands at the next resume."""
+        if self._shield <= 0:
+            raise RuntimeError("shield_end without matching shield_begin")
+        self._shield -= 1
+
+    def suspend_until(self, when: int) -> None:
+        """Defer any resumption of this process until cycle ``when``.
+
+        Models preemption / a descheduled hardware context: pending
+        wakeups (message arrivals, sleep expiries) are delivered only
+        once the process is scheduled again.  Safe in every state.
+        """
+        if when > self._suspended_until:
+            self._suspended_until = when
+
     # -- engine internal -------------------------------------------------
+    def _do_kill(self, cause: Any) -> None:
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self._resume_gen += 1  # invalidate anything still in the heap
+        self.alive = False
+        self.killed = True
+        self._pending_kill = None
+        self.result = None
+        # Keep the generator referenced so CPython never runs its
+        # ``finally`` blocks at GC time mid-simulation: a crashed thread
+        # must execute nothing, not even cleanup.
+        self.sim._corpses.append(self.gen)
+        self.sim._forget(self)
+        self._done_event.trigger(None)
+
     def _finish(self, result: Any) -> None:
         self.alive = False
         self.result = result
+        self.sim._forget(self)
         self._done_event.trigger(result)
+
+    def describe_wait(self) -> str:
+        """Human-readable description of what this process waits on."""
+        ev = self.blocked_event()
+        if ev is not None:
+            return ev.describe()
+        if self._waiting_on is not None:
+            return f"{self._waiting_on.describe()} (wakeup pending)"
+        if self._suspended_until > self.sim.now:
+            return f"suspended until cycle {self._suspended_until}"
+        return "no pending wakeup"
+
+
+class WaitTimer:
+    """A one-shot watchdog used to build timed blocking operations.
+
+    Arms at construction: at ``deadline`` the timer interrupts ``proc``
+    with *itself* as the :class:`Interrupt` cause -- but only if the
+    process is still genuinely parked on an event *after every wakeup
+    already queued for the deadline cycle has landed*.  An arrival
+    scheduled for the same cycle therefore wins the race against the
+    timeout, deterministically, regardless of which callback entered the
+    heap first.  Callers must :meth:`disarm` when the guarded operation
+    completes (typically in a ``finally``, before yielding again).
+    """
+
+    __slots__ = ("sim", "proc", "armed", "_deferred", "_gen_at_check")
+
+    def __init__(self, sim: "Simulator", proc: Process, deadline: int):
+        self.sim = sim
+        self.proc = proc
+        self.armed = True
+        #: True once the deadline-cycle re-check has been queued
+        self._deferred = False
+        #: proc resume generation at the last not-parked observation
+        self._gen_at_check: Optional[int] = None
+        sim.call_at(deadline, self._fire)
+
+    def _fire(self) -> None:
+        if not self.armed or not self.proc.alive:
+            return
+        if self.proc.blocked_event() is None:
+            # Not parked: a wakeup (e.g. a same-cycle message arrival) is
+            # in flight.  Re-check after the process has stepped; if it
+            # has not stepped since the last look, its wakeup sits at a
+            # later cycle and the timeout simply loses.
+            if self.proc._resume_gen != self._gen_at_check:
+                self._gen_at_check = self.proc._resume_gen
+                self.sim.call_at(self.sim.now, self._fire)
+            return
+        if self._deferred:
+            self.proc.interrupt(self)
+        else:
+            # Parked -- but a delivery queued earlier this same cycle may
+            # still be behind us in the heap.  Look again after it.
+            self._deferred = True
+            self.sim.call_at(self.sim.now, self._fire)
+
+    def disarm(self) -> None:
+        self.armed = False
 
 
 class Simulator:
@@ -144,7 +343,8 @@ class Simulator:
         print(sim.now, proc.result)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_nevents", "max_events")
+    __slots__ = ("now", "_heap", "_seq", "_nevents", "max_events",
+                 "detect_deadlock", "_processes", "_corpses", "_current")
 
     def __init__(self, max_events: Optional[int] = None):
         self.now: int = 0
@@ -153,27 +353,49 @@ class Simulator:
         self._nevents: int = 0
         #: hard safety cap on processed events (None = unlimited)
         self.max_events = max_events
+        #: raise :class:`DeadlockError` when the heap drains with live
+        #: non-daemon processes still blocked (set False to restore the
+        #: old silent-return behaviour)
+        self.detect_deadlock = True
+        self._processes: set = set()
+        self._corpses: List[Generator] = []
+        self._current: Optional[Process] = None
 
     # -- public API ------------------------------------------------------
     @property
     def events_processed(self) -> int:
         return self._nevents
 
-    def spawn(self, gen: Generator, name: str = "?") -> Process:
-        """Register ``gen`` as a process; it starts at the current cycle."""
-        proc = Process(self, gen, name)
+    @property
+    def current(self) -> Optional[Process]:
+        """The process being stepped right now (None outside a step)."""
+        return self._current
+
+    def live_processes(self) -> List["Process"]:
+        """All processes that have not yet finished (diagnostics)."""
+        return sorted(self._processes, key=lambda p: p.name)
+
+    def spawn(self, gen: Generator, name: str = "?", daemon: bool = False) -> Process:
+        """Register ``gen`` as a process; it starts at the current cycle.
+
+        ``daemon`` marks processes (server loops, fault controllers) that
+        may legitimately stay blocked forever: they are exempt from
+        deadlock detection.
+        """
+        proc = Process(self, gen, name, daemon=daemon)
+        self._processes.add(proc)
         self._schedule_resume(proc, None)
         return proc
 
-    def event(self) -> Event:
+    def event(self, label: Optional[str] = None) -> Event:
         """Create a fresh (un-triggered) event bound to this simulator."""
-        return Event(self)
+        return Event(self, label)
 
     def call_at(self, when: int, fn: Callable[[], None]) -> None:
         """Run plain callback ``fn`` at absolute cycle ``when`` (>= now)."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
-        self._push(when, fn, None, _CALLBACK)
+        self._push(when, fn, None, _CALLBACK, 0)
 
     def call_after(self, delay: int, fn: Callable[[], None]) -> None:
         """Run plain callback ``fn`` after ``delay`` cycles."""
@@ -185,16 +407,21 @@ class Simulator:
         With ``until`` given, the clock is left exactly at ``until`` when
         the horizon is hit (events at later cycles stay queued and can be
         processed by a subsequent :meth:`run` call).
+
+        Raises :class:`DeadlockError` if the heap drains while live
+        non-daemon processes remain blocked (see ``detect_deadlock``).
         """
         heap = self._heap
         pop = heapq.heappop
         max_events = self.max_events
         while heap:
-            when, _seq, proc, payload, kind = heap[0]
+            when, _seq, proc, payload, kind, gen = heap[0]
             if until is not None and when > until:
                 self.now = until
                 return
             pop(heap)
+            if kind != _CALLBACK and (not proc.alive or gen != proc._resume_gen):
+                continue  # stale wakeup (interrupt/kill): drop, clock untouched
             self.now = when
             self._nevents += 1
             if max_events is not None and self._nevents > max_events:
@@ -202,25 +429,50 @@ class Simulator:
             if kind == _CALLBACK:
                 proc()  # proc slot holds the callable for callbacks
                 continue
-            self._step(proc, payload, kind)
+            self._step(proc, payload, kind, gen)
         if until is not None and self.now < until:
             self.now = until
+        if self.detect_deadlock:
+            blocked = [p for p in self._processes if p.alive and not p.daemon]
+            if blocked:
+                blocked.sort(key=lambda p: p.name)
+                lines = "\n".join(
+                    f"  - process {p.name!r} blocked on {p.describe_wait()}"
+                    for p in blocked
+                )
+                raise DeadlockError(
+                    f"deadlock at cycle {self.now}: event heap is empty but "
+                    f"{len(blocked)} live process(es) are still blocked:\n{lines}",
+                    blocked,
+                )
 
     # -- internals ---------------------------------------------------------
-    def _push(self, when: int, proc: Any, payload: Any, kind: int) -> None:
+    def _forget(self, proc: Process) -> None:
+        self._processes.discard(proc)
+
+    def _push(self, when: int, proc: Any, payload: Any, kind: int, gen: int) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, proc, payload, kind))
+        heapq.heappush(self._heap, (when, self._seq, proc, payload, kind, gen))
 
     def _schedule_resume(self, proc: Process, value: Any, delay: int = 0) -> None:
-        self._push(self.now + delay, proc, value, _SEND)
+        self._push(self.now + delay, proc, value, _SEND, proc._resume_gen)
 
     def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
-        self._push(self.now, proc, exc, _THROW)
+        self._push(self.now, proc, exc, _THROW, proc._resume_gen)
 
-    def _step(self, proc: Process, payload: Any, kind: int) -> None:
-        if not proc.alive:
+    def _step(self, proc: Process, payload: Any, kind: int, gen: int) -> None:
+        if not proc.alive or gen != proc._resume_gen:
+            return  # finished, or superseded by an interrupt/kill
+        if proc._suspended_until > self.now:
+            # preempted: deliver this wakeup when the context is rescheduled
+            self._push(proc._suspended_until, proc, payload, kind, gen)
             return
+        if proc._pending_kill is not None and proc._shield == 0:
+            proc._do_kill(proc._pending_kill)  # deferred crash lands now
+            return
+        proc._resume_gen += 1  # consume: older heap entries become stale
         proc._waiting_on = None
+        self._current = proc
         try:
             if kind == _THROW:
                 effect = proc.gen.throw(payload)
@@ -229,6 +481,8 @@ class Simulator:
         except StopIteration as stop:
             proc._finish(stop.value)
             return
+        finally:
+            self._current = None
         # Dispatch on the yielded effect.
         if type(effect) is int:
             self._schedule_resume(proc, None, effect)

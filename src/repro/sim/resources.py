@@ -18,7 +18,7 @@ arbitration points in the machine model:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List
+from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.engine import Event, Simulator
 
@@ -102,10 +102,12 @@ class Condition:
     moment.  This models invalidation wakeups for spinning cores.
     """
 
-    __slots__ = ("sim", "_waiters")
+    __slots__ = ("sim", "label", "_waiters")
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, label: Optional[str] = None):
         self.sim = sim
+        #: free-form description surfaced by deadlock diagnostics
+        self.label = label
         self._waiters: List[Event] = []
 
     @property
@@ -113,7 +115,7 @@ class Condition:
         return len(self._waiters)
 
     def wait(self) -> Generator[Any, Any, None]:
-        ev = Event(self.sim)
+        ev = Event(self.sim, label=self.label)
         self._waiters.append(ev)
         yield ev
 

@@ -136,11 +136,12 @@ class TracedCtx:
     def spin_until(self, addr: int, pred):
         return self._span("spin", self._ctx.spin_until(addr, pred), addr)
 
-    def send(self, dst_tid: int, words):
-        return self._span("send", self._ctx.send(dst_tid, words), dst_tid)
+    def send(self, dst_tid: int, words, *, timeout=None):
+        return self._span("send", self._ctx.send(dst_tid, words, timeout=timeout),
+                          dst_tid)
 
-    def receive(self, k: int = 1):
-        return self._span("receive", self._ctx.receive(k), k)
+    def receive(self, k: int = 1, *, timeout=None):
+        return self._span("receive", self._ctx.receive(k, timeout=timeout), k)
 
     def is_queue_empty(self):
         return self._span("probe", self._ctx.is_queue_empty())

@@ -3,8 +3,10 @@
 See :mod:`repro.udn.udn` for the fabric model: per-core 4-way
 demultiplexed hardware FIFO buffers, asynchronous ``send`` with
 backpressure on overflow, blocking ``receive``, and ``is_queue_empty``.
+Timed variants of ``send``/``receive`` raise :class:`SendTimeout` /
+:class:`ReceiveTimeout`; see the module docs for the fault model.
 """
 
-from repro.udn.udn import UdnFabric
+from repro.udn.udn import ReceiveTimeout, SendTimeout, UdnFabric, UdnTimeout
 
-__all__ = ["UdnFabric"]
+__all__ = ["ReceiveTimeout", "SendTimeout", "UdnFabric", "UdnTimeout"]

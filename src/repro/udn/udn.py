@@ -14,12 +14,25 @@ Semantics follow Sections 2 and 5.1 of the paper precisely:
   message backs up into the network and **the sender blocks** until
   space frees (Section 5.1 / Section 6).  We model this by reserving
   destination buffer space at send time; an unavailable reservation
-  blocks the sender on a per-destination-core condition.
+  queues the sender on a strict-FIFO per-destination-core reservation
+  list, so buffer space is granted in arrival order (a late sender can
+  never barge past an earlier blocked one).
 * ``receive(k)`` blocks until ``k`` words are available in the caller's
   own queue and returns them; popping a non-empty local queue costs a
   couple of cycles and **no coherence stalls** -- this locality is the
   core of the paper's performance argument.
 * ``is_queue_empty()`` is a cheap local probe.
+
+Robustness extensions (fault-injection layer):
+
+* ``send`` and ``receive`` accept ``timeout=`` (cycles).  A timed
+  operation that cannot complete in time raises :class:`SendTimeout` /
+  :class:`ReceiveTimeout` without side effects (no space reserved, no
+  words popped).  The timers are built on generation-guarded interrupts
+  (:class:`~repro.sim.engine.WaitTimer`), so a timeout racing a
+  same-cycle message arrival deterministically loses to the arrival.
+* ``transit_jitter`` (installed by :class:`repro.faults.FaultInjector`)
+  adds bounded, seeded jitter to per-message transit delays.
 
 Endpoints are *thread ids*; the fabric keeps the tid -> (core, demux
 queue) registration, mirroring the TILE-Gx requirement that a thread be
@@ -29,25 +42,77 @@ pinned and registered to use the UDN.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.machine.config import MachineConfig
 from repro.machine.core import Core
 from repro.noc.topology import Mesh
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Interrupt, Simulator, WaitTimer
 from repro.sim.resources import Condition
 
-__all__ = ["UdnFabric"]
+__all__ = ["UdnFabric", "UdnTimeout", "SendTimeout", "ReceiveTimeout"]
+
+
+class UdnTimeout(Exception):
+    """Base class of timed-operation expiries; ``waited`` is in cycles."""
+
+    def __init__(self, message: str, waited: int):
+        super().__init__(message)
+        self.waited = waited
+
+
+class SendTimeout(UdnTimeout):
+    """A timed ``send`` could not reserve destination buffer space in time."""
+
+
+class ReceiveTimeout(UdnTimeout):
+    """A timed ``receive`` did not see enough words arrive in time."""
 
 
 class _CoreBuffer:
-    """The hardware message buffer of one core (shared by its demux queues)."""
+    """The hardware message buffer of one core (shared by its demux queues).
 
-    __slots__ = ("free_words", "space_cond")
+    Space is granted to blocked senders in strict FIFO order: a
+    reservation that cannot be satisfied immediately joins ``_waiters``
+    and all later reservations queue behind it, even if they are smaller
+    than the currently free space.
+    """
 
-    def __init__(self, sim: Simulator, capacity: int):
+    __slots__ = ("sim", "free_words", "label", "_waiters")
+
+    def __init__(self, sim: Simulator, capacity: int, label: str):
+        self.sim = sim
         self.free_words = capacity
-        self.space_cond = Condition(sim)
+        self.label = label
+        # each entry: [event, words_needed, granted?]
+        self._waiters: Deque[list] = deque()
+
+    def reserve(self, n: int) -> Generator[Any, Any, None]:
+        """Acquire ``n`` words of buffer space, FIFO among blocked senders."""
+        if not self._waiters and self.free_words >= n:
+            self.free_words -= n
+            return
+        entry = [Event(self.sim, label=self.label), n, False]
+        self._waiters.append(entry)
+        try:
+            yield entry[0]
+        except BaseException:
+            # Interrupted (timeout / fault) while queued: withdraw without
+            # side effects; if the grant already happened, give it back.
+            if entry[2]:
+                self.release(n)
+            else:
+                self._waiters.remove(entry)
+            raise
+
+    def release(self, k: int) -> None:
+        """Return ``k`` words and hand freed space to queued senders in order."""
+        self.free_words += k
+        while self._waiters and self._waiters[0][1] <= self.free_words:
+            entry = self._waiters.popleft()
+            self.free_words -= entry[1]
+            entry[2] = True
+            entry[0].trigger()
 
 
 class _Queue:
@@ -55,9 +120,9 @@ class _Queue:
 
     __slots__ = ("words", "arrival_cond")
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, label: str):
         self.words: Deque[int] = deque()
-        self.arrival_cond = Condition(sim)
+        self.arrival_cond = Condition(sim, label=label)
 
 
 class UdnFabric:
@@ -72,9 +137,16 @@ class UdnFabric:
         self.mesh = mesh
         self.cores = cores
         self.contended = contended_mesh  # optional ContendedMesh
-        self._buffers = [_CoreBuffer(sim, cfg.udn_buffer_words) for _ in cores]
+        self._buffers = [
+            _CoreBuffer(sim, cfg.udn_buffer_words, label=f"udn buffer space of core {c.cid}")
+            for c in cores
+        ]
         self._queues = [
-            [_Queue(sim) for _ in range(cfg.udn_demux_queues)] for _ in cores
+            [
+                _Queue(sim, label=f"udn message arrival at core {c.cid} queue {d}")
+                for d in range(cfg.udn_demux_queues)
+            ]
+            for c in cores
         ]
         # thread id -> (core id, demux queue index)
         self._endpoints: Dict[int, Tuple[int, int]] = {}
@@ -82,6 +154,9 @@ class UdnFabric:
         self.messages_delivered = 0
         #: total cycles senders spent blocked on backpressure (stats)
         self.backpressure_cycles = 0
+        #: optional per-message transit-delay jitter (src_node, dst_node,
+        #: n_words) -> extra cycles; installed by the fault injector
+        self.transit_jitter: Optional[Callable[[int, int, int], int]] = None
 
     # -- registration -------------------------------------------------------
     def register(self, tid: int, core_id: int, demux: int = 0) -> None:
@@ -116,11 +191,15 @@ class UdnFabric:
         return len(self._queue_of(tid).words)
 
     # -- operations ----------------------------------------------------------
-    def send(self, core: Core, dst_tid: int, words: Sequence[int]) -> Generator[Any, Any, None]:
+    def send(self, core: Core, dst_tid: int, words: Sequence[int],
+             timeout: Optional[int] = None) -> Generator[Any, Any, None]:
         """Asynchronous send of ``words`` to thread ``dst_tid``.
 
         Returns as soon as the message is injected; blocks only when the
-        destination buffer has no room (backpressure).
+        destination buffer has no room (backpressure).  With ``timeout``
+        given, raises :class:`SendTimeout` if buffer space cannot be
+        reserved within that many cycles (nothing is sent and no space
+        is held).
         """
         if not words:
             raise ValueError("empty message")
@@ -133,16 +212,32 @@ class UdnFabric:
             )
         buf = self._buffers[dst_core_id]
         # Reserve space; block while the buffer is full (messages back up
-        # into the network and stall the sender).
+        # into the network and stall the sender).  FIFO among senders.
         t0 = self.sim.now
-        while buf.free_words < n:
-            yield from buf.space_cond.wait()
+        if timeout is None:
+            yield from buf.reserve(n)
+        else:
+            if timeout < 1:
+                raise ValueError("timeout must be >= 1 cycle")
+            timer = WaitTimer(self.sim, self.sim.current, self.sim.now + timeout)
+            try:
+                yield from buf.reserve(n)
+            except Interrupt as exc:
+                if exc.cause is timer:
+                    waited = self.sim.now - t0
+                    core.wait += waited
+                    self.backpressure_cycles += waited
+                    raise SendTimeout(
+                        f"send of {n} words to thread {dst_tid} timed out after "
+                        f"{waited} cycles of backpressure", waited
+                    ) from None
+                raise
+            finally:
+                timer.disarm()
         blocked = self.sim.now - t0
         if blocked:
             core.wait += blocked
             self.backpressure_cycles += blocked
-        buf.free_words -= n
-
         inject = cfg.udn_send_base + cfg.udn_send_per_word * n
         core.busy += inject
         core.msgs_sent += 1
@@ -156,11 +251,17 @@ class UdnFabric:
             )
         else:
             transit = self.mesh.latency(core.node, self.cores[dst_core_id].node, n)
+            if self.transit_jitter is not None:
+                transit += int(self.transit_jitter(core.node, self.cores[dst_core_id].node, n))
             self.sim.call_after(transit, lambda: self._deliver(dst_core_id, demux, payload))
 
     def _contended_delivery(self, src_node: int, dst_core_id: int, demux: int,
                             payload: List[int]) -> Generator[Any, Any, None]:
         yield from self.contended.transit(src_node, self.cores[dst_core_id].node, len(payload))
+        if self.transit_jitter is not None:
+            extra = int(self.transit_jitter(src_node, self.cores[dst_core_id].node, len(payload)))
+            if extra:
+                yield extra
         self._deliver(dst_core_id, demux, payload)
 
     def _deliver(self, dst_core_id: int, demux: int, payload: List[int]) -> None:
@@ -169,19 +270,42 @@ class UdnFabric:
         self.messages_delivered += 1
         q.arrival_cond.notify_all()
 
-    def receive(self, core: Core, tid: int, k: int = 1) -> Generator[Any, Any, List[int]]:
+    def receive(self, core: Core, tid: int, k: int = 1,
+                timeout: Optional[int] = None) -> Generator[Any, Any, List[int]]:
         """Blocking receive of ``k`` words from ``tid``'s own queue.
 
         Time spent blocked on an empty queue is ``wait`` (idle), not
         stall; draining a non-empty queue costs a few busy cycles per
-        word and touches no shared memory.
+        word and touches no shared memory.  With ``timeout`` given,
+        raises :class:`ReceiveTimeout` if fewer than ``k`` words are
+        available after that many cycles (no words are consumed).  A
+        message arriving in the very cycle the timeout expires wins.
         """
         if k < 1:
             raise ValueError("must receive at least one word")
         q = self._queue_of(tid)
         t0 = self.sim.now
-        while len(q.words) < k:
-            yield from q.arrival_cond.wait()
+        if timeout is None:
+            while len(q.words) < k:
+                yield from q.arrival_cond.wait()
+        else:
+            if timeout < 1:
+                raise ValueError("timeout must be >= 1 cycle")
+            timer = WaitTimer(self.sim, self.sim.current, self.sim.now + timeout)
+            try:
+                while len(q.words) < k:
+                    yield from q.arrival_cond.wait()
+            except Interrupt as exc:
+                if exc.cause is timer:
+                    waited = self.sim.now - t0
+                    core.wait += waited
+                    raise ReceiveTimeout(
+                        f"receive of {k} words by thread {tid} timed out after "
+                        f"{waited} cycles ({len(q.words)} words queued)", waited
+                    ) from None
+                raise
+            finally:
+                timer.disarm()
         waited = self.sim.now - t0
         if waited:
             core.wait += waited
@@ -190,11 +314,10 @@ class UdnFabric:
         core.msgs_received += 1
         yield cost
         out = [q.words.popleft() for _ in range(k)]
-        # space frees at the *core buffer* of the receiving endpoint
+        # space frees at the *core buffer* of the receiving endpoint and is
+        # handed to blocked senders in FIFO order
         core_id, _ = self.endpoint(tid)
-        buf = self._buffers[core_id]
-        buf.free_words += k
-        buf.space_cond.notify_all()
+        self._buffers[core_id].release(k)
         return out
 
     def is_queue_empty(self, core: Core, tid: int) -> Generator[Any, Any, bool]:

@@ -172,4 +172,15 @@ def run_workload(
         if window_sessions:
             result.combining_rate = float(np.mean(window_sessions))
 
+    # recovery metrics (fault-injection runs): primitives expose
+    # ``recovery_stats`` when a fault-tolerance mode is enabled
+    stats = getattr(prim, "recovery_stats", None) if prim is not None else None
+    if stats:
+        ttr = stats.get("time_to_recovery")
+        result.time_to_recovery_cycles = float(ttr) if ttr is not None else None
+        result.ops_retried = int(stats.get("ops_retried", 0))
+        result.duplicates_suppressed = int(stats.get("duplicates_suppressed", 0))
+        result.failovers = int(stats.get("failovers", 0))
+        result.takeovers = int(stats.get("takeovers", 0))
+
     return result

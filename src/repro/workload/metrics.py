@@ -43,6 +43,13 @@ class RunResult:
     #: free-form extras (e.g. EMPTY-dequeue fraction)
     extra: Dict[str, float] = field(default_factory=dict)
 
+    #: recovery metrics (fault-injection runs; see repro.faults)
+    time_to_recovery_cycles: Optional[float] = None
+    ops_retried: int = 0
+    duplicates_suppressed: int = 0
+    failovers: int = 0
+    takeovers: int = 0
+
     @property
     def throughput_mops(self) -> float:
         """Throughput in Mops/s at the machine clock (the paper's y-axis)."""
@@ -83,5 +90,13 @@ class RunResult:
             parts.append(
                 f"svc={self.service_cycles_per_op:.1f} cyc/op"
                 f" ({self.service_stall_per_op:.1f} stalled)"
+            )
+        if self.time_to_recovery_cycles is not None:
+            parts.append(f"ttr={self.time_to_recovery_cycles:.0f} cyc")
+        if self.ops_retried:
+            parts.append(
+                f"retried={self.ops_retried}"
+                f" deduped={self.duplicates_suppressed}"
+                f" failovers={self.failovers}"
             )
         return "  ".join(parts)

@@ -19,10 +19,11 @@ Implementation labels follow the paper's legends:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
 from repro.core.api import SyncPrimitive
+from repro.faults import FaultInjector, FaultPlan
 from repro.machine import Machine, MachineConfig, tile_gx
 from repro.machine.machine import ThreadCtx
 from repro.objects import (
@@ -45,6 +46,7 @@ __all__ = [
     "build_approach",
     "run_counter_benchmark",
     "run_cs_length_benchmark",
+    "run_fault_recovery_benchmark",
     "run_queue_benchmark",
     "run_stack_benchmark",
 ]
@@ -113,12 +115,16 @@ def run_counter_benchmark(
     cfg: Optional[MachineConfig] = None,
     max_ops: int = 200,
     fixed_combiner: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """The Section 5.3 microbenchmark: a contended concurrent counter.
 
     ``fixed_combiner=True`` reproduces the Figure 4a methodology
     (MAX_OPS effectively infinite, so one thread keeps the combiner role
     and its core's counters isolate the servicing critical path).
+
+    ``fault_plan`` injects faults (see :mod:`repro.faults`) into the run;
+    an empty plan leaves the run bit-for-bit unchanged.
     """
     spec = spec or WorkloadSpec()
     machine = _fresh_machine(cfg)
@@ -135,6 +141,8 @@ def run_counter_benchmark(
     counter = LockedCounter(prim)
     prim.start()
     ctxs = [machine.thread(tid) for tid in tids]
+    if fault_plan is not None and fault_plan:
+        FaultInjector(machine, fault_plan).install()
 
     def make_op(ctx: ThreadCtx):
         def op(k: int):
@@ -142,6 +150,51 @@ def run_counter_benchmark(
         return op
 
     return run_workload(machine, ctxs, make_op, spec, name=approach, prim=prim)
+
+
+# ---------------------------------------------------------------------------
+# fault recovery (robustness extension; the disc-faults experiment)
+# ---------------------------------------------------------------------------
+
+def run_fault_recovery_benchmark(
+    num_clients: int = 8,
+    *,
+    spec: Optional[WorkloadSpec] = None,
+    cfg: Optional[MachineConfig] = None,
+    request_timeout: int = 2_000,
+    fault_plan: Optional[FaultPlan] = None,
+) -> RunResult:
+    """Contended counter on fault-tolerant MP-SERVER with a hot standby.
+
+    Thread 0 / core 0 run the primary server, thread 1 / core 1 the
+    backup; clients occupy threads 2..  ``fault_plan`` typically crashes
+    the primary mid-window: clients time out, back off, fail over to the
+    backup, and the run completes with recovery metrics in the result.
+    """
+    spec = spec or WorkloadSpec()
+    machine = _fresh_machine(cfg)
+    if num_clients + 2 > machine.cfg.num_cores:
+        raise ValueError(
+            f"{num_clients} clients + two servers exceed "
+            f"{machine.cfg.num_cores} cores"
+        )
+    optable = OpTable()
+    prim = MPServer(machine, optable, server_tid=0, server_core=0,
+                    backup_tid=1, backup_core=1,
+                    request_timeout=request_timeout)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [machine.thread(tid) for tid in range(2, num_clients + 2)]
+    if fault_plan is not None and fault_plan:
+        FaultInjector(machine, fault_plan).install()
+
+    def make_op(ctx: ThreadCtx):
+        def op(k: int):
+            yield from counter.increment(ctx)
+        return op
+
+    name = "mp-server-ft" + ("-faulty" if fault_plan else "")
+    return run_workload(machine, ctxs, make_op, spec, name=name, prim=prim)
 
 
 def run_cs_length_benchmark(
@@ -194,7 +247,6 @@ def run_queue_benchmark(
     spec = spec or WorkloadSpec()
     machine = _fresh_machine(cfg)
     prim = None
-    prims: List[SyncPrimitive] = []
     limit = machine.cfg.num_cores
 
     if impl == "mp-server-2":
@@ -205,7 +257,6 @@ def run_queue_benchmark(
         queue = TwoLockMSQueue(enq_prim, deq_prim)
         enq_prim.start()
         deq_prim.start()
-        prims = [enq_prim, deq_prim]
         tids = list(range(2, num_clients + 2))
     elif impl == "LCRQ":
         if num_clients > limit:
@@ -218,7 +269,6 @@ def run_queue_benchmark(
         prim, tids = build_approach(base, machine, optable, num_clients, max_ops=max_ops)
         queue = OneLockMSQueue(prim)
         prim.start()
-        prims = [prim]
 
     ctxs = [machine.thread(tid) for tid in tids]
     empties = {"n": 0}

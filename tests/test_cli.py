@@ -1,6 +1,5 @@
 """Tests for the top-level ``python -m repro`` CLI."""
 
-import pytest
 
 from repro.__main__ import main
 

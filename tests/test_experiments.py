@@ -7,13 +7,11 @@ the unit-test suite.
 
 import pytest
 
-from repro.analysis.series import FigureData
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.fig3 import run_fig3a_3b, run_fig3c
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig5 import run_fig5a, run_fig5b
 from repro.experiments.registry import main, metric_for
-from repro.workload.driver import WorkloadSpec
 
 
 def test_registry_is_complete():
@@ -21,6 +19,7 @@ def test_registry_is_complete():
         "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
         "fig5a", "fig5b",
         "disc-x86", "disc-scc", "disc-oversub", "disc-backpressure", "disc-noc",
+        "disc-faults",
     }
 
 

@@ -104,7 +104,7 @@ def test_elimination_reduces_backing_stack_traffic():
     def worker(ctx):
         for k in range(40):
             yield from s.push(ctx, k + 1)
-            v = yield from s.pop(ctx)
+            yield from s.pop(ctx)
 
     for i in range(12):
         ctx = m.thread(i)

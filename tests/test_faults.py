@@ -1,0 +1,321 @@
+"""Fault injection and recovery (repro.faults + the FT protocol layers).
+
+Covers the robustness acceptance criteria: a seeded plan crashing the
+MP-SERVER primary mid-run lets clients fail over and the recorded
+history stays linearizable; with recovery disabled the deadlock detector
+names every blocked client; all injection is deterministic under a fixed
+seed; and an empty plan changes nothing.
+"""
+
+import pytest
+
+from repro.analysis.linearizability import CounterSpec, History, check_linearizable
+from repro.core import HybComb, MPServer, OpTable
+from repro.core.mp_server import ServerUnavailable
+from repro.faults import (
+    CrashThread,
+    FaultInjector,
+    FaultPlan,
+    PreemptThread,
+    SlowThread,
+    UdnJitter,
+)
+from repro.machine import Machine
+from repro.objects import LockedCounter
+from repro.sim.engine import DeadlockError
+from repro.workload.driver import WorkloadSpec
+from repro.workload.scenarios import (
+    run_counter_benchmark,
+    run_fault_recovery_benchmark,
+)
+
+QUICK = WorkloadSpec.quick()
+
+
+# ---------------------------------------------------------------------------
+# plan validation
+# ---------------------------------------------------------------------------
+
+def test_plan_validates_fields():
+    with pytest.raises(ValueError):
+        CrashThread(tid=0, at_cycle=-1)
+    with pytest.raises(ValueError):
+        PreemptThread(tid=0, start_cycle=0, run_cycles=0, preempt_cycles=10)
+    with pytest.raises(ValueError):
+        SlowThread(tid=0, factor=1.0)
+    with pytest.raises(ValueError):
+        UdnJitter(max_cycles=0)
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan.none()
+    assert FaultPlan(faults=(UdnJitter(4),))
+
+
+def test_injector_install_is_single_shot():
+    m = Machine()
+    inj = FaultInjector(m, FaultPlan.none()).install()
+    with pytest.raises(RuntimeError, match="already installed"):
+        inj.install()
+
+
+# ---------------------------------------------------------------------------
+# the headline drill: primary crash -> failover, linearizable history
+# ---------------------------------------------------------------------------
+
+def _drill(recovery: bool, num_clients: int = 4, ops: int = 12,
+           crash_at: int = 800):
+    machine = Machine()
+    if recovery:
+        prim = MPServer(machine, OpTable(), server_tid=0, server_core=0,
+                        backup_tid=1, backup_core=1, request_timeout=2_000)
+    else:
+        prim = MPServer(machine, OpTable(), server_tid=0, server_core=0)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [machine.thread(t) for t in range(2, 2 + num_clients)]
+    history = History()
+
+    def client(ctx):
+        for _ in range(ops):
+            t0 = machine.now
+            v = yield from counter.increment(ctx)
+            history.record(ctx.tid, "inc", None, v, t0, machine.now)
+            yield from ctx.work(100)
+
+    for ctx in ctxs:
+        machine.spawn(ctx, client(ctx), name=f"client-{ctx.tid}")
+    plan = FaultPlan(seed=3, faults=(CrashThread(tid=0, at_cycle=crash_at),))
+    FaultInjector(machine, plan).install()
+    machine.run()
+    return machine, prim, history
+
+
+def test_primary_crash_fails_over_and_history_linearizes():
+    machine, prim, history = _drill(recovery=True)
+    assert len(history) == 4 * 12  # every op completed despite the crash
+    assert check_linearizable(history, CounterSpec())
+    stats = prim.recovery_stats
+    assert stats["ops_retried"] >= 1
+    assert stats["failovers"] >= 1
+    assert stats["time_to_recovery"] is not None
+    assert 0 < stats["time_to_recovery"] < 50_000  # finite and bounded
+
+
+def test_without_recovery_deadlock_detector_names_every_client():
+    with pytest.raises(DeadlockError) as ei:
+        _drill(recovery=False)
+    msg = str(ei.value)
+    blocked_names = {p.name for p in ei.value.blocked}
+    assert blocked_names == {f"client-{t}" for t in range(2, 6)}
+    for t in range(2, 6):
+        assert f"client-{t}" in msg
+    assert "udn message arrival" in msg  # says WHAT they wait on
+
+
+def test_crash_recovery_is_deterministic():
+    _m1, p1, h1 = _drill(recovery=True)
+    _m2, p2, h2 = _drill(recovery=True)
+    assert p1.recovery_stats == p2.recovery_stats
+    assert [(o.tid, o.retval, o.invoke_t, o.response_t) for o in h1.ops] == \
+           [(o.tid, o.retval, o.invoke_t, o.response_t) for o in h2.ops]
+
+
+def test_client_gives_up_after_max_attempts_when_all_servers_die():
+    machine = Machine()
+    prim = MPServer(machine, OpTable(), server_tid=0, server_core=0,
+                    backup_tid=1, backup_core=1, request_timeout=500,
+                    max_attempts=3)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctx = machine.thread(2)
+
+    def client(c):
+        for _ in range(50):
+            yield from counter.increment(c)
+
+    machine.spawn(ctx, client(ctx), name="client-2")
+    plan = FaultPlan(faults=(CrashThread(tid=0, at_cycle=400),
+                             CrashThread(tid=1, at_cycle=400)))
+    FaultInjector(machine, plan).install()
+    with pytest.raises(ServerUnavailable, match="after 3 attempts"):
+        machine.run()
+
+
+def test_backup_requires_timeout():
+    m = Machine()
+    with pytest.raises(ValueError, match="request_timeout"):
+        MPServer(m, OpTable(), server_tid=0, backup_tid=1)
+
+
+# ---------------------------------------------------------------------------
+# benchmark-level: determinism and zero-fault parity
+# ---------------------------------------------------------------------------
+
+def _crash_plan(spec):
+    at = spec.warmup_cycles + spec.measure_cycles // 3
+    return FaultPlan(seed=1, faults=(CrashThread(tid=0, at_cycle=at),))
+
+
+def test_fault_recovery_benchmark_two_runs_identical():
+    r1 = run_fault_recovery_benchmark(4, spec=QUICK, fault_plan=_crash_plan(QUICK))
+    r2 = run_fault_recovery_benchmark(4, spec=QUICK, fault_plan=_crash_plan(QUICK))
+    assert r1.ops == r2.ops
+    assert r1.per_thread_ops == r2.per_thread_ops
+    assert r1.mean_latency_cycles == r2.mean_latency_cycles
+    assert r1.time_to_recovery_cycles == r2.time_to_recovery_cycles
+    assert r1.ops_retried == r2.ops_retried
+    assert r1.failovers == r2.failovers
+
+
+def test_fault_recovery_benchmark_recovers_mid_window():
+    r = run_fault_recovery_benchmark(4, spec=QUICK, fault_plan=_crash_plan(QUICK))
+    assert r.ops > 0
+    assert r.failovers >= 4          # every client switched to the backup
+    assert r.time_to_recovery_cycles is not None
+    assert r.time_to_recovery_cycles < QUICK.measure_cycles
+
+
+def test_zero_fault_plan_leaves_fig3a_run_unchanged():
+    base = run_counter_benchmark("mp-server", 6, spec=QUICK)
+    nofault = run_counter_benchmark("mp-server", 6, spec=QUICK,
+                                    fault_plan=FaultPlan.none())
+    assert nofault.ops == base.ops
+    assert nofault.per_thread_ops == base.per_thread_ops
+    assert nofault.mean_latency_cycles == base.mean_latency_cycles
+
+
+# ---------------------------------------------------------------------------
+# preemption, slowdown, jitter
+# ---------------------------------------------------------------------------
+
+def test_preempted_server_stalls_clients_but_run_completes():
+    spec = WorkloadSpec(warmup_cycles=10_000, measure_cycles=40_000)
+    plan = FaultPlan(faults=(
+        PreemptThread(tid=0, start_cycle=12_000, run_cycles=500,
+                      preempt_cycles=1_500, until_cycle=40_000),
+    ))
+    healthy = run_counter_benchmark("mp-server", 4, spec=spec)
+    bumpy = run_counter_benchmark("mp-server", 4, spec=spec, fault_plan=plan)
+    assert bumpy.ops > 0
+    # a 25%-duty-cycle server must cost real throughput
+    assert bumpy.ops < healthy.ops
+
+
+def test_slow_thread_dilates_its_progress():
+    m = Machine()
+    ctx0, ctx1 = m.thread(0), m.thread(1)
+    finish = {}
+
+    def worker(ctx, label):
+        for _ in range(100):
+            yield from ctx.work(100)
+        finish[label] = m.now
+
+    m.spawn(ctx0, worker(ctx0, "slow"), name="slow")
+    m.spawn(ctx1, worker(ctx1, "fast"), name="fast")
+    plan = FaultPlan(faults=(SlowThread(tid=0, factor=3.0, quantum=200),))
+    FaultInjector(m, plan).install()
+    m.run()
+    assert finish["fast"] == 100 * 100
+    # the dilated thread takes about factor x as long
+    assert finish["slow"] >= 2.5 * finish["fast"]
+
+
+def test_udn_jitter_is_seeded_and_deterministic():
+    def run(seed):
+        m = Machine()
+        t0, t1 = m.thread(0), m.thread(1)
+        arrivals = []
+
+        def sender(ctx):
+            for i in range(20):
+                yield from ctx.send(1, [i])
+                yield from ctx.work(50)
+
+        def receiver(ctx):
+            for _ in range(20):
+                yield from ctx.receive(1)
+                arrivals.append(m.now)
+
+        m.spawn(t0, sender(t0))
+        m.spawn(t1, receiver(t1))
+        FaultInjector(m, FaultPlan(seed=seed,
+                                   faults=(UdnJitter(max_cycles=40),))).install()
+        m.run()
+        return arrivals
+
+    a = run(5)
+    assert a == run(5)       # same seed -> identical delivery times
+    assert a != run(6)       # different seed -> different jitter
+
+
+def test_jitter_requires_udn_profile():
+    from repro.machine import x86_like
+
+    m = Machine(x86_like())
+    with pytest.raises(ValueError, match="hardware message passing"):
+        FaultInjector(m, FaultPlan(faults=(UdnJitter(8),))).install()
+
+
+# ---------------------------------------------------------------------------
+# HybComb combiner lease
+# ---------------------------------------------------------------------------
+
+def _hybcomb_crash(fixed: bool):
+    m = Machine()
+    kwargs = dict(lease_cycles=1_500, request_timeout=1_500)
+    if fixed:
+        prim = HybComb(m, OpTable(), fixed_combiner_tid=0, **kwargs)
+        tids = range(1, 5)
+        crash_tid = 0
+    else:
+        prim = HybComb(m, OpTable(), max_ops=200, **kwargs)
+        tids = range(4)
+        crash_tid = 2
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [m.thread(t) for t in tids]
+
+    def client(ctx, n):
+        for _ in range(n):
+            yield from counter.increment(ctx)
+            yield from ctx.work(50)
+
+    procs = [m.spawn(c, client(c, 150), name=f"client-{c.tid}") for c in ctxs]
+    plan = FaultPlan(seed=1, faults=(CrashThread(tid=crash_tid, at_cycle=6_000),))
+    FaultInjector(m, plan).install()
+    m.run()
+    return prim, procs, crash_tid
+
+
+def test_hybcomb_combiner_crash_triggers_takeover():
+    prim, procs, crash_tid = _hybcomb_crash(fixed=False)
+    assert prim.takeovers >= 1
+    for p in procs:
+        if p.name == f"client-{crash_tid}":
+            assert p.killed
+        else:
+            assert not p.alive and not p.killed  # survivors all finished
+
+
+def test_hybcomb_fixed_combiner_crash_recovers():
+    prim, procs, crash_tid = _hybcomb_crash(fixed=True)
+    assert prim.takeovers >= 1
+    survivors = [p for p in procs if p.name != f"client-{crash_tid}"]
+    assert all(not p.alive and not p.killed for p in survivors)
+    assert prim.recovery_stats["time_to_recovery"] is not None
+
+
+def test_hybcomb_lease_params_must_come_together():
+    m = Machine()
+    with pytest.raises(ValueError, match="both or neither"):
+        HybComb(m, OpTable(), lease_cycles=1000)
+
+
+def test_hybcomb_without_faults_matches_plain_run_under_lease_off():
+    base = run_counter_benchmark("HybComb", 4, spec=QUICK)
+    again = run_counter_benchmark("HybComb", 4, spec=QUICK,
+                                  fault_plan=FaultPlan.none())
+    assert base.ops == again.ops
+    assert base.per_thread_ops == again.per_thread_ops

@@ -19,7 +19,6 @@ from repro.analysis.linearizability import (
 from repro.core import CCSynch, HybComb, MPServer, OpTable
 from repro.machine import Machine, tile_gx
 from repro.objects import LockedStack, OneLockMSQueue, TreiberStack
-from repro.objects import EMPTY as OBJ_EMPTY
 
 
 def H(*ops):

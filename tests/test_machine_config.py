@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import Machine, MachineConfig, tile_gx, x86_like
+from repro.machine import Machine, tile_gx, x86_like
 
 
 # -- config validation --------------------------------------------------------

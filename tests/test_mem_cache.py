@@ -1,6 +1,5 @@
 """Tests for the coherence protocol: states, costs, RMR/stall accounting."""
 
-import pytest
 
 from repro.machine import Machine, tile_gx
 from repro.mem import LineState

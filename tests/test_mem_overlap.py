@@ -1,7 +1,6 @@
 """Tests for the overlap mechanisms: software prefetch (MSHR join) and
 the one-entry merging store buffer + fence drain."""
 
-import pytest
 
 from repro.machine import Machine, tile_gx
 

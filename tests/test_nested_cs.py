@@ -6,7 +6,6 @@ remain atomic with respect to A's other clients, and B's state must
 reflect every nested call exactly once.
 """
 
-import pytest
 
 from repro.core import MPServer, OpTable
 from repro.machine import Machine, tile_gx

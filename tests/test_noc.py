@@ -1,7 +1,7 @@
 """Unit + property tests for the mesh NoC (repro.noc)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.noc import ContendedMesh, Mesh

@@ -138,7 +138,6 @@ def test_treiber_cas_failures_grow_with_contention():
     def run(nthreads):
         m = Machine(tile_gx())
         s = TreiberStack(m)
-        fails = []
 
         def worker(ctx):
             for k in range(20):

@@ -7,7 +7,6 @@ random operation streams, and determinism of the whole stack.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

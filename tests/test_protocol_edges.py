@@ -2,9 +2,8 @@
 node recycling, the departed-combiner slot, unfortunate interleavings,
 handover boundaries, and oversubscribed combining."""
 
-import pytest
 
-from repro.core import CCSynch, HybComb, MPServer, OpTable
+from repro.core import CCSynch, HybComb, OpTable
 from repro.core.hybcomb import _DONE, _N_OPS, _THREAD_ID
 from repro.machine import Machine, tile_gx
 from repro.objects import LockedCounter

@@ -286,3 +286,232 @@ def test_determinism_two_identical_runs():
         return trace
 
     assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# fault semantics: generation-guarded resumption, kill, deadlock detection
+# ---------------------------------------------------------------------------
+
+def test_interrupt_during_int_sleep_steps_exactly_once():
+    """Regression: interrupting a process sleeping on an ``int`` delay used
+    to leave the stale sleep-expiry entry in the heap, stepping the
+    generator a second time."""
+    sim = Simulator()
+    resumes = []
+
+    def victim():
+        try:
+            yield 100  # plain int sleep, no Event involved
+        except Interrupt as exc:
+            resumes.append(("interrupted", sim.now, exc.cause))
+        yield 50
+        resumes.append(("slept", sim.now))
+
+    def attacker(v):
+        yield 10
+        v.interrupt("preempt")
+
+    v = sim.spawn(victim())
+    sim.spawn(attacker(v))
+    sim.run()
+    # one interrupt at t=10, then exactly one resume of the follow-up sleep
+    assert resumes == [("interrupted", 10, "preempt"), ("slept", 60)]
+    assert sim.now == 60  # the stale wakeup at t=100 must not exist
+
+
+def test_interrupt_after_event_trigger_same_cycle():
+    """An interrupt still lands when the awaited event already triggered
+    but the process has not stepped yet (wakeup in flight)."""
+    sim = Simulator()
+    ev = Event(sim)
+    out = []
+
+    def victim():
+        try:
+            v = yield ev
+            out.append(("value", v))
+        except Interrupt:
+            out.append(("interrupted", sim.now))
+
+    def meddler(v):
+        yield 5
+        ev.trigger("late")
+        v.interrupt("now")
+
+    v = sim.spawn(victim())
+    sim.spawn(meddler(v))
+    sim.run()
+    assert out == [("interrupted", 5)]
+
+
+def test_kill_skips_finally_blocks():
+    """A fail-stop crash must execute nothing -- not even cleanup."""
+    sim = Simulator()
+    cleaned = []
+
+    def victim():
+        try:
+            yield 100
+        finally:
+            cleaned.append("ran")
+
+    def killer(v):
+        yield 10
+        v.kill("crash")
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    sim.run()
+    assert v.killed and not v.alive
+    assert cleaned == []  # finally must NOT have run
+
+
+def test_kill_releases_joiners_with_none():
+    sim = Simulator()
+
+    def victim():
+        yield 1000
+        return "never"
+
+    def killer(v):
+        yield 10
+        v.kill()
+
+    def joiner(v):
+        r = yield from v.join()
+        return (sim.now, r)
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    j = sim.spawn(joiner(v))
+    sim.run()
+    assert j.result == (10, None)
+
+
+def test_kill_while_sleeping_cancels_pending_wakeup():
+    sim = Simulator()
+
+    def victim():
+        yield 100
+
+    def killer(v):
+        yield 10
+        v.kill()
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    sim.run()
+    assert sim.now == 10  # the t=100 wakeup must have been dropped
+
+
+def test_shield_defers_kill_to_region_end():
+    sim = Simulator()
+    progress = []
+
+    def victim():
+        p = sim.current
+        p.shield_begin()
+        yield 20  # crash arrives here, must be deferred
+        progress.append(("inside", sim.now))
+        p.shield_end()
+        yield 1  # deferred crash lands at this resume
+        progress.append(("outside", sim.now))
+
+    def killer(v):
+        yield 10
+        v.kill("crash")
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    sim.run()
+    assert progress == [("inside", 20)]  # shielded step ran, next one did not
+    assert v.killed
+
+
+def test_deadlock_detector_names_blocked_processes():
+    from repro.sim import DeadlockError
+
+    sim = Simulator()
+    ev = sim.event(label="a condition that never fires")
+
+    def stuck():
+        yield ev
+
+    sim.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError) as ei:
+        sim.run()
+    assert "stuck-proc" in str(ei.value)
+    assert "a condition that never fires" in str(ei.value)
+    assert [p.name for p in ei.value.blocked] == ["stuck-proc"]
+
+
+def test_daemon_processes_exempt_from_deadlock_detection():
+    sim = Simulator()
+    ev = sim.event()
+
+    def server():
+        yield ev  # idles forever, legitimately
+
+    def client():
+        yield 5
+        return "done"
+
+    sim.spawn(server(), name="server", daemon=True)
+    p = sim.spawn(client())
+    sim.run()  # must NOT raise
+    assert p.result == "done"
+
+
+def test_deadlock_detection_can_be_disabled():
+    sim = Simulator()
+    sim.detect_deadlock = False
+    ev = sim.event()
+
+    def stuck():
+        yield ev
+
+    sim.spawn(stuck())
+    sim.run()  # old silent-return behaviour
+
+
+def test_suspend_until_defers_wakeups():
+    sim = Simulator()
+    out = []
+
+    def victim():
+        yield 10  # wakeup due at t=10 is deferred to t=50
+        out.append(sim.now)
+
+    def preemptor(v):
+        yield 5
+        v.suspend_until(50)
+
+    v = sim.spawn(victim())
+    sim.spawn(preemptor(v))
+    sim.run()
+    assert out == [50]
+
+
+def test_waittimer_does_not_fire_after_disarm():
+    from repro.sim import WaitTimer
+
+    sim = Simulator()
+    ev = Event(sim)
+    out = []
+
+    def waiter():
+        p = sim.current
+        timer = WaitTimer(sim, p, 100)
+        v = yield ev
+        timer.disarm()
+        out.append(("got", v, sim.now))
+        yield 200  # run past the (disarmed) deadline
+
+    def trigger():
+        yield 30
+        ev.trigger("x")
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert out == [("got", "x", 30)]

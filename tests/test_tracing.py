@@ -1,10 +1,9 @@
 """Tests for the tracing subsystem (TracedCtx proxy + timeline renderer)."""
 
-import pytest
 
 from repro.core import MPServer, OpTable
 from repro.machine import Machine, tile_gx
-from repro.sim.tracing import Span, Trace, TracedCtx, render_timeline
+from repro.sim.tracing import Trace, TracedCtx, render_timeline
 
 
 def test_span_duration_and_trace_queries():
