@@ -13,7 +13,8 @@ from typing import Callable, Dict, Sequence
 from repro.analysis.series import FigureData
 from repro.workload.metrics import RunResult
 
-__all__ = ["ascii_chart", "bar_chart", "markdown_table", "to_csv"]
+__all__ = ["ascii_chart", "bar_chart", "markdown_table",
+           "render_latency_histogram", "render_line_heatmap", "to_csv"]
 
 _MARKS = "*o+x#@%&"
 
@@ -69,6 +70,63 @@ def bar_chart(labels: Sequence[str], pairs: Dict[str, Sequence[float]],
             v = values[i]
             bar = "#" * int(v / peak * width)
             out.write(f"  {label:>10s} {group:>8s} |{bar} {v:.1f}\n")
+    return out.getvalue()
+
+
+def render_line_heatmap(lines: Dict[int, Dict[str, int]], *,
+                        metric: str = "stall_cycles", top: int = 16,
+                        width: int = 50,
+                        title: str = "cache-line contention") -> str:
+    """Per-cache-line contention heatmap from obs ``line`` counters.
+
+    ``lines`` is the ``"line"`` group of a
+    :meth:`~repro.obs.counters.PerfCounters.snapshot` / ``delta`` (or an
+    aggregated session snapshot): line number -> register -> value.
+    Shows the ``top`` hottest lines by ``metric`` as horizontal bars.
+    """
+    ranked = sorted(
+        ((ln, regs) for ln, regs in lines.items() if regs.get(metric, 0)),
+        key=lambda kv: -kv[1].get(metric, 0),
+    )[:top]
+    out = io.StringIO()
+    out.write(f"{title} (top {len(ranked)} lines by {metric})\n")
+    if not ranked:
+        out.write(f"  [no lines with nonzero {metric}]\n")
+        return out.getvalue()
+    peak = ranked[0][1].get(metric, 0) or 1
+    for ln, regs in ranked:
+        v = regs.get(metric, 0)
+        bar = "#" * max(1, int(v / peak * width))
+        detail = " ".join(
+            f"{k}={regs[k]}" for k in ("misses", "invalidations", "atomics")
+            if regs.get(k)
+        )
+        out.write(f"  line {ln:>6d} |{bar:<{width}s}| {v}"
+                  + (f"  ({detail})" if detail else "") + "\n")
+    return out.getvalue()
+
+
+def render_latency_histogram(buckets: Dict[int, int], *, width: int = 50,
+                             title: str = "UDN delivery latency") -> str:
+    """Log2-bucketed latency histogram from the obs ``udn_hist`` group.
+
+    Bucket ``k`` counts deliveries with latency in ``[2^(k-1), 2^k)``
+    cycles (bucket 0 is latency 0).
+    """
+    out = io.StringIO()
+    out.write(f"{title} (cycles, log2 buckets)\n")
+    live = {k: v for k, v in buckets.items() if v}
+    if not live:
+        out.write("  [no deliveries]\n")
+        return out.getvalue()
+    peak = max(live.values())
+    for k in range(min(live), max(live) + 1):
+        v = buckets.get(k, 0)
+        lo = 0 if k == 0 else 1 << (k - 1)
+        hi = 0 if k == 0 else (1 << k) - 1
+        rng = "0" if k == 0 else f"{lo}-{hi}"
+        bar = "#" * int(v / peak * width)
+        out.write(f"  {rng:>12s} |{bar:<{width}s}| {v}\n")
     return out.getvalue()
 
 

@@ -90,6 +90,9 @@ class SyncPrimitive:
         #: core of the most recent combiner (combiners only; used by the
         #: fixed-combiner measurement of Figure 4a)
         self.current_combiner_core: Optional[int] = None
+        # start time of the combining session currently open (obs span)
+        self._session_t0: Optional[int] = None
+        self._session_ctx: Optional[ThreadCtx] = None
 
     def start(self) -> None:
         """Spawn dedicated threads (if any).  Idempotence is an error."""
@@ -111,8 +114,26 @@ class SyncPrimitive:
         (the server core, or every app core for combining approaches)."""
         raise NotImplementedError
 
+    def session_begin(self, ctx: ThreadCtx) -> None:
+        """Mark ``ctx`` as opening a combining session (obs span start)."""
+        self._session_t0 = self.machine.now
+        self._session_ctx = ctx
+        obs = self.machine.sim.obs
+        if obs is not None:
+            obs.emit("combiner.open", core=ctx.core.cid, tid=ctx.tid,
+                     prim=self.name)
+
     def record_session(self, ops: int) -> None:
         self.combining_sessions.append((self.machine.now, ops))
+        obs = self.machine.sim.obs
+        if obs is not None and self._session_ctx is not None:
+            ctx = self._session_ctx
+            obs.emit("combiner.close", core=ctx.core.cid, tid=ctx.tid,
+                     prim=self.name, ops=ops,
+                     start=self._session_t0 if self._session_t0 is not None
+                     else self.machine.now)
+        self._session_t0 = None
+        self._session_ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

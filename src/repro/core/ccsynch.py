@@ -123,6 +123,10 @@ class CCSynch(SyncPrimitive):
             nxt = yield from ctx.spin_until(tmp + _NEXT, lambda v: v != 0)
             op = yield from ctx.load(tmp + _OPCODE)
             a = yield from ctx.load(tmp + _ARG)
+            obs = ctx.sim.obs
+            if obs is not None:
+                obs.emit("server.req", core=ctx.core.cid, client=None,
+                         prim=self.name)
             ret = yield from execute(ctx, op, a)
             yield from ctx.store(tmp + _RET, ret)
             yield from ctx.store(tmp + _COMPLETED, 1)
@@ -158,6 +162,7 @@ class CCSynch(SyncPrimitive):
         if ctx.core.cid not in self._service_cores:
             self._service_cores.append(ctx.core.cid)
         self.current_combiner_core = ctx.core.cid
+        self.session_begin(ctx)
         own_ret = 0
         tmp = cur
         count = 0

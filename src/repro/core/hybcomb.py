@@ -204,6 +204,10 @@ class HybComb(SyncPrimitive):
                     sender, fp, farg = yield from ctx.receive(3, timeout=hb_every)
                 except ReceiveTimeout:
                     continue
+            obs = ctx.sim.obs
+            if obs is not None:
+                obs.emit("server.req", core=ctx.core.cid, client=sender,
+                         prim=self.name)
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
 
@@ -233,6 +237,10 @@ class HybComb(SyncPrimitive):
                 prev_tid = yield from ctx.load(prev + _THREAD_ID)
                 self._active_combiners.discard(prev_tid)
                 self.takeovers += 1
+                obs = ctx.sim.obs
+                if obs is not None:
+                    obs.emit("fault.takeover", core=ctx.core.cid, tid=ctx.tid,
+                             prim=self.name)
                 return
             yield from self._heartbeat(ctx, my_node)
             yield from ctx.work(self._lease_poll)
@@ -266,6 +274,10 @@ class HybComb(SyncPrimitive):
                             break
                         except ReceiveTimeout:
                             self.ops_retried += 1
+                            obs = ctx.sim.obs
+                            if obs is not None:
+                                obs.emit("fault.retry", core=ctx.core.cid,
+                                         tid=tid, prim=self.name)
                             if first_timeout_at is None:
                                 first_timeout_at = self.machine.now
                             stale = yield from self._lease_stale(ctx, last_reg)
@@ -284,6 +296,10 @@ class HybComb(SyncPrimitive):
                             raise
                 except SendTimeout:
                     self.ops_retried += 1
+                    obs = ctx.sim.obs
+                    if obs is not None:
+                        obs.emit("fault.retry", core=ctx.core.cid,
+                                 tid=tid, prim=self.name)
                     if first_timeout_at is None:
                         first_timeout_at = self.machine.now
                     continue  # re-read lrc and re-register
@@ -325,6 +341,7 @@ class HybComb(SyncPrimitive):
         if ctx.core.cid not in self._service_cores:
             self._service_cores.append(ctx.core.cid)
         self.current_combiner_core = ctx.core.cid
+        self.session_begin(ctx)
         execute = self.optable.execute
         if self._recovery:
             yield from self._heartbeat(ctx, my_node)

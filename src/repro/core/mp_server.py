@@ -180,6 +180,10 @@ class MPServer(SyncPrimitive):
         execute = self.optable.execute
         while True:
             sender, opcode, arg = yield from ctx.receive(REQUEST_WORDS)
+            obs = ctx.sim.obs
+            if obs is not None:
+                obs.emit("server.req", core=ctx.core.cid, client=sender,
+                         prim=self.name)
             retval = yield from execute(ctx, opcode, arg)
             yield from ctx.send(sender, [retval])
             self.requests_served += 1
@@ -190,6 +194,10 @@ class MPServer(SyncPrimitive):
         execute = self.optable.execute
         while True:
             sender, seq, opcode, arg = yield from ctx.receive(FT_REQUEST_WORDS)
+            obs = ctx.sim.obs
+            if obs is not None:
+                obs.emit("server.req", core=ctx.core.cid, client=sender,
+                         prim=self.name)
             slot = self._slot_for(sender)
             last = yield from ctx.load(slot + _SLOT_SEQ)
             if seq <= last:
@@ -244,6 +252,10 @@ class MPServer(SyncPrimitive):
             except (SendTimeout, ReceiveTimeout):
                 attempt += 1
                 self.ops_retried += 1
+                obs = ctx.sim.obs
+                if obs is not None:
+                    obs.emit("fault.retry", core=ctx.core.cid, tid=tid,
+                             prim=self.name)
                 if first_timeout_at is None:
                     first_timeout_at = self.machine.now
                 if attempt >= self.max_attempts:
@@ -255,6 +267,9 @@ class MPServer(SyncPrimitive):
                     self._client_server[tid] = (
                         self._client_server[tid] + 1) % len(servers)
                     self.failovers += 1
+                    if obs is not None:
+                        obs.emit("fault.failover", core=ctx.core.cid, tid=tid,
+                                 prim=self.name)
                 backoff = min(self.backoff_base << (attempt - 1), self.backoff_cap)
                 ctx.core.wait += backoff
                 yield backoff

@@ -99,6 +99,10 @@ class ShmServer(SyncPrimitive):
                     continue
                 opcode = yield from ctx.load(ch + _OPCODE)     # same line: hits
                 arg = yield from ctx.load(ch + _ARG)
+                obs = ctx.sim.obs
+                if obs is not None:
+                    obs.emit("server.req", core=ctx.core.cid, client=tid,
+                             prim=self.name)
                 # software-pipeline the next channel read behind this CS
                 # (the paper: RMRs "get partially overlapped with the CS
                 # execution" -- the O3-compiled server hoists the next

@@ -4,6 +4,13 @@
 with no arguments it runs all of them.  ``--full`` switches to the
 larger windows/sweeps used for EXPERIMENTS.md; ``--csv DIR`` exports
 each figure's data.
+
+Observability (see DESIGN.md §9): ``--perf`` prints per-experiment
+contention heatmaps / UDN latency histograms and writes the aggregated
+perf-counter file as ``<exp>-metrics.csv``; ``--trace`` additionally
+records every machine and writes a merged Chrome/Perfetto
+``<exp>-trace.json`` (open in https://ui.perfetto.dev).  Both write
+under ``--trace-out DIR`` (default ``traces/``).
 """
 
 from __future__ import annotations
@@ -14,7 +21,15 @@ import sys
 import time
 from typing import Callable, Dict
 
-from repro.analysis.render import ascii_chart, bar_chart, markdown_table, to_csv
+import repro.obs as obs_mod
+from repro.analysis.render import (
+    ascii_chart,
+    bar_chart,
+    markdown_table,
+    render_latency_histogram,
+    render_line_heatmap,
+    to_csv,
+)
 from repro.analysis.series import FigureData
 from repro.experiments.discussion import (
     run_backpressure,
@@ -105,40 +120,84 @@ def main(argv=None) -> int:
                         help="use the large windows/sweeps (slow)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also export each figure's data as CSV")
+    parser.add_argument("--perf", action="store_true",
+                        help="collect perf counters; print heatmaps and "
+                             "write <exp>-metrics.csv under --trace-out")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a Chrome/Perfetto trace per experiment "
+                             "(implies --perf)")
+    parser.add_argument("--trace-out", metavar="DIR", default="traces",
+                        help="directory for trace/metrics files "
+                             "(default: traces)")
     args = parser.parse_args(argv)
+    if args.trace:
+        args.perf = True
 
     ids = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in ids if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}")
-    for exp_id in ids:
-        t0 = time.time()
-        fig = run_experiment(exp_id, quick=not args.full)
-        dt = time.time() - t0
-        print(f"=== {exp_id} ({dt:.1f}s) " + "=" * 40)
-        print(render(fig))
-        if args.csv:
-            os.makedirs(args.csv, exist_ok=True)
-            path = os.path.join(args.csv, f"{exp_id}.csv")
-            metrics = {
-                "throughput_mops": lambda r: r.throughput_mops,
-                "latency_cycles": lambda r: r.mean_latency_cycles,
-                "cycles_per_op": lambda r: r.cycles_per_op,
-                "combining_rate": lambda r: r.combining_rate or 0.0,
-                "svc_cycles_per_op": lambda r: r.service_cycles_per_op,
-                "svc_stall_per_op": lambda r: r.service_stall_per_op,
-                "cas_per_op": lambda r: r.cas_per_op,
-                "time_to_recovery_cycles": lambda r: (
-                    r.time_to_recovery_cycles
-                    if r.time_to_recovery_cycles is not None else 0.0),
-                "ops_retried": lambda r: float(r.ops_retried),
-                "duplicates_suppressed": lambda r: float(r.duplicates_suppressed),
-                "failovers": lambda r: float(r.failovers),
-            }
-            with open(path, "w") as f:
-                f.write(to_csv(fig, metrics))
-            print(f"[csv written to {path}]")
+    session = obs_mod.enable(trace=args.trace) if args.perf else None
+    try:
+        for exp_id in ids:
+            if session is not None:
+                session.reset()
+            t0 = time.time()
+            fig = run_experiment(exp_id, quick=not args.full)
+            dt = time.time() - t0
+            print(f"=== {exp_id} ({dt:.1f}s) " + "=" * 40)
+            print(render(fig))
+            if session is not None:
+                _export_obs(session, exp_id, args.trace_out, args.trace)
+            if args.csv:
+                os.makedirs(args.csv, exist_ok=True)
+                path = os.path.join(args.csv, f"{exp_id}.csv")
+                metrics = {
+                    "throughput_mops": lambda r: r.throughput_mops,
+                    "latency_cycles": lambda r: r.mean_latency_cycles,
+                    "latency_p50": lambda r: r.p50_latency_cycles,
+                    "latency_p99": lambda r: r.p99_latency_cycles,
+                    "cycles_per_op": lambda r: r.cycles_per_op,
+                    "combining_rate": lambda r: r.combining_rate or 0.0,
+                    "svc_cycles_per_op": lambda r: r.service_cycles_per_op,
+                    "svc_stall_per_op": lambda r: r.service_stall_per_op,
+                    "cas_per_op": lambda r: r.cas_per_op,
+                    "time_to_recovery_cycles": lambda r: (
+                        r.time_to_recovery_cycles
+                        if r.time_to_recovery_cycles is not None else 0.0),
+                    "ops_retried": lambda r: float(r.ops_retried),
+                    "duplicates_suppressed": lambda r: float(r.duplicates_suppressed),
+                    "failovers": lambda r: float(r.failovers),
+                }
+                with open(path, "w") as f:
+                    f.write(to_csv(fig, metrics))
+                print(f"[csv written to {path}]")
+    finally:
+        if session is not None:
+            obs_mod.disable()
     return 0
+
+
+def _export_obs(session, exp_id: str, out_dir: str, trace: bool) -> None:
+    """Write one experiment's perf counter file (+ optional trace)."""
+    if not session.machines:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    agg = session.aggregate()
+    print(render_line_heatmap(agg.get("line", {}),
+                              title=f"{exp_id}: cache-line contention"))
+    if agg.get("udn_hist"):
+        print(render_latency_histogram(agg["udn_hist"],
+                                       title=f"{exp_id}: UDN delivery latency"))
+    mpath = os.path.join(out_dir, f"{exp_id}-metrics.csv")
+    with open(mpath, "w") as f:
+        f.write(session.metrics_csv())
+    print(f"[perf counters written to {mpath}]")
+    if trace:
+        tpath = os.path.join(out_dir, f"{exp_id}-trace.json")
+        n = session.export_chrome_trace(tpath)
+        print(f"[{n} trace events written to {tpath} -- "
+              f"open in https://ui.perfetto.dev]")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -64,6 +64,24 @@ class Machine:
         )
         self._threads: Dict[int, "ThreadCtx"] = {}
         self._procs_by_tid: Dict[int, List[Process]] = {}
+        # join the active observability session, if one is open
+        # (``python -m repro.experiments --trace`` / repro.obs.observed())
+        import repro.obs as _obs
+        self.obs = _obs.attach(self)
+
+    def enable_observability(self, *, trace: bool = False,
+                             trace_limit: int = 500_000, label=None):
+        """Turn on the event bus / perf counters for this machine.
+
+        Returns the :class:`repro.obs.Observability` handle (idempotent:
+        a second call returns the existing one).  ``trace=True`` also
+        records a Chrome/Perfetto trace (see ``obs.export_chrome_trace``).
+        """
+        if self.obs is None:
+            import repro.obs as _obs
+            self.obs = _obs.Observability(self, trace=trace,
+                                          trace_limit=trace_limit, label=label)
+        return self.obs
 
     # -- thread management ----------------------------------------------
     def thread(self, tid: int, core_id: Optional[int] = None, demux: int = 0) -> "ThreadCtx":

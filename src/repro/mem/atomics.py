@@ -98,13 +98,18 @@ class ControllerAtomics:
         # queue + execute at the controller (false serialization point)
         yield from ctrl.res.acquire()
         try:
-            if ctrl.last_word == addr:
-                service = cfg.c_atomic_service
-            else:
+            cold = ctrl.last_word != addr
+            if cold:
                 service = cfg.c_atomic_service_cold
                 ctrl.cold_ops += 1
+            else:
+                service = cfg.c_atomic_service
             ctrl.last_word = addr
             ctrl.ops += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.emit("atomic.exec", core=core.cid, line=addr // cfg.line_words,
+                         ctrl=ctrl.node, cold=cold, service=service)
             yield service
             backing = self.mem.store_backing
             old = backing.read(addr)
@@ -116,7 +121,12 @@ class ControllerAtomics:
         # travel back with the old value
         if travel:
             yield travel
-        core.stall_atomic += self.sim.now - t0
+        stalled = self.sim.now - t0
+        core.stall_atomic += stalled
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("atomic.stall", core=core.cid, cycles=stalled,
+                     line=addr // cfg.line_words, start=t0)
         return old
 
 
@@ -143,6 +153,12 @@ class CacheAtomics:
                 # bring the line in exclusively (RMR)
                 core.rmr += 1
                 latency = mem._store_latency(entry, line_no, cid)
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit("cache.miss", core=cid, line=line_no, op="atomic",
+                             transition=mem._store_transition(entry, cid),
+                             latency=latency)
+                    mem._emit_invals(obs, entry, line_no, cid)
                 if latency:
                     yield latency
                 entry.sharers.clear()
@@ -154,7 +170,14 @@ class CacheAtomics:
             backing.write(addr, op(old))
         finally:
             entry.res.release()
-        core.stall_atomic += self.sim.now - t0
+        stalled = self.sim.now - t0
+        core.stall_atomic += stalled
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("atomic.exec", core=cid, line=line_no, ctrl=None,
+                     cold=False, service=cfg.c_atomic_local)
+            obs.emit("atomic.stall", core=cid, cycles=stalled,
+                     line=line_no, start=t0)
         entry.cond.notify_all()
         return old
 

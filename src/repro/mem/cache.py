@@ -87,6 +87,53 @@ class CoherentMemory:
         # line -> the single core allowed to touch it
         self._private_owner: Dict[int, int] = {}
 
+    # -- stall accounting --------------------------------------------------
+    # Every coherence stall charged to a core flows through these two
+    # helpers, which keep the core's hardware register and the obs event
+    # stream in lockstep -- the counter-derived Figure 4a breakdown must
+    # match the register-derived one exactly (guarded by a test).
+    def _charge_stall_mem(self, core: Core, cycles: int, line_no: int, why: str) -> None:
+        if cycles <= 0:
+            return
+        core.stall_mem += cycles
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("cache.stall", core=core.cid, cycles=cycles, line=line_no,
+                     why=why, start=self.sim.now - cycles)
+
+    def _charge_stall_fence(self, core: Core, cycles: int, why: str) -> None:
+        if cycles <= 0:
+            return
+        core.stall_fence += cycles
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("fence.stall", core=core.cid, cycles=cycles, why=why,
+                     start=self.sim.now - cycles)
+
+    def _load_transition(self, entry: _Line, cid: int) -> str:
+        if entry.owner is not None and entry.owner != cid:
+            return "M->S"
+        if entry.sharers:
+            return "S->S"
+        return "mem->S"
+
+    def _store_transition(self, entry: _Line, cid: int) -> str:
+        if entry.owner is not None and entry.owner != cid:
+            return "M->M"
+        if entry.sharers - {cid}:
+            return "inv"
+        if cid in entry.sharers:
+            return "upgrade"
+        return "mem->M"
+
+    def _emit_invals(self, obs, entry: _Line, line_no: int, by) -> None:
+        """Publish one ``cache.inval`` per core losing its copy."""
+        if entry.owner is not None and entry.owner != by:
+            obs.emit("cache.inval", core=entry.owner, line=line_no, by=by)
+        for s in entry.sharers:
+            if s != by:
+                obs.emit("cache.inval", core=s, line=line_no, by=by)
+
     # -- address helpers ---------------------------------------------------
     def line_of(self, addr: int) -> int:
         return addr // self.cfg.line_words
@@ -141,7 +188,7 @@ class CoherentMemory:
         if pending is not None and not pending.triggered:
             t0 = self.sim.now
             yield pending
-            core.stall_mem += self.sim.now - t0
+            self._charge_stall_mem(core, self.sim.now - t0, line_no, "mshr")
             entry = self._lines.get(line_no)
         if entry is not None and (entry.owner == cid or cid in entry.sharers):
             # cache hit
@@ -160,6 +207,11 @@ class CoherentMemory:
                 latency = occupancy = 0
             else:
                 latency = self._load_latency(entry, line_no, cid)
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit("cache.miss", core=cid, line=line_no, op="load",
+                             transition=self._load_transition(entry, cid),
+                             latency=latency)
                 # The directory orders the read and answers quickly; the
                 # data transfer itself is pipelined, so the read holds
                 # the entry only briefly and concurrent readers do not
@@ -181,7 +233,7 @@ class CoherentMemory:
         # completion (not at the ordering point) keeps the load's result
         # consistent with any wakeup notifications fired in between
         value = self.store_backing.read(addr)
-        core.stall_mem += self.sim.now - t0
+        self._charge_stall_mem(core, self.sim.now - t0, line_no, "load")
         self._check_swmr(entry)
         return value
 
@@ -218,6 +270,11 @@ class CoherentMemory:
                 latency = occupancy = 0
             else:
                 latency = self._load_latency(entry, line_no, cid)
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit("cache.miss", core=cid, line=line_no, op="prefetch",
+                             transition=self._load_transition(entry, cid),
+                             latency=latency)
                 occupancy = min(self.cfg.c_dir_read_occupancy, latency)
                 if occupancy:
                     yield occupancy
@@ -295,7 +352,7 @@ class CoherentMemory:
             # core may have refilled the buffer in the meantime
             t0 = self.sim.now
             yield pending
-            core.stall_mem += self.sim.now - t0
+            self._charge_stall_mem(core, self.sim.now - t0, line_no, "store_buffer")
         entry = self._line(line_no)
         core.rmr += 1
         core.busy += self.cfg.c_hit
@@ -313,6 +370,12 @@ class CoherentMemory:
         try:
             if entry.owner != cid:
                 latency = self._store_latency(entry, line_no, cid)
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit("cache.miss", core=cid, line=line_no, op="store",
+                             transition=self._store_transition(entry, cid),
+                             latency=latency)
+                    self._emit_invals(obs, entry, line_no, cid)
                 if latency:
                     yield latency
                 entry.sharers.clear()
@@ -329,7 +392,7 @@ class CoherentMemory:
         if pending is not None and not pending.triggered:
             t0 = self.sim.now
             yield pending
-            core.stall_fence += self.sim.now - t0
+            self._charge_stall_fence(core, self.sim.now - t0, "drain")
 
     def _store_latency(self, entry: _Line, line_no: int, cid: int) -> int:
         cfg = self.cfg
@@ -352,12 +415,12 @@ class CoherentMemory:
     def fence(self, core: Core) -> Generator[Any, Any, None]:
         """Memory fence: fixed pipeline cost plus a store-buffer drain."""
         if not self.cfg.has_coherent_shm:
-            core.stall_fence += self.cfg.c_fence
             yield self.cfg.c_fence
+            self._charge_stall_fence(core, self.cfg.c_fence, "fence")
             return
         c = self.cfg.c_fence
-        core.stall_fence += c
         yield c
+        self._charge_stall_fence(core, c, "fence")
         yield from self.drain_store_buffer(core)
 
     def spin_until(
@@ -407,6 +470,9 @@ class CoherentMemory:
         yield from self.atomics.rmw(core, addr, op)
         if not box["ok"]:
             core.cas_failures += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.emit("atomic.cas_fail", core=core.cid, line=self.line_of(addr))
         return box["ok"]
 
     # -- hooks used by the atomics executor ---------------------------------
@@ -414,6 +480,9 @@ class CoherentMemory:
         """Drop every cached copy of a line (atomic executed remotely)."""
         entry = self._lines.get(line_no)
         if entry is not None:
+            obs = self.sim.obs
+            if obs is not None and (entry.owner is not None or entry.sharers):
+                self._emit_invals(obs, entry, line_no, None)
             entry.owner = None
             entry.sharers.clear()
             entry.cond.notify_all()

@@ -60,7 +60,12 @@ class ContendedMesh:
                 link = self._link(a, b)
                 w0 = self.sim.now
                 yield from link.acquire()
-                self.total_link_wait += self.sim.now - w0
+                wait = self.sim.now - w0
+                self.total_link_wait += wait
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit("noc.link", a=a, b=b, wait=wait,
+                             busy=max(occupancy, mesh.per_hop))
                 try:
                     yield mesh.per_hop
                 finally:
@@ -72,4 +77,8 @@ class ContendedMesh:
         # Router pipeline / injection+ejection overhead.
         yield mesh.base + mesh.per_word * (words - 1)
         self.packets_delivered += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("noc.packet", src=src, dst=dst, words=words,
+                     cycles=self.sim.now - t0)
         return self.sim.now - t0

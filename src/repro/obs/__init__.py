@@ -1,0 +1,161 @@
+"""Machine-wide observability: event bus, perf counters, trace export.
+
+Three layers (see DESIGN.md §9):
+
+* :class:`~repro.obs.bus.EventBus` -- the structured event stream every
+  hardware model and delegation core publishes to.  Off by default;
+  zero overhead when off.
+* :class:`~repro.obs.counters.PerfCounters` -- the "perf counter file":
+  per-core / per-cache-line / per-link registers and a UDN latency
+  histogram, queryable as before/after snapshots.
+* :class:`~repro.obs.perfetto.TraceCollector` -- Chrome/Perfetto trace
+  recording (open the exported ``trace.json`` in
+  https://ui.perfetto.dev or ``chrome://tracing``).
+
+Per machine::
+
+    machine = Machine(tile_gx())
+    obs = machine.enable_observability(trace=True)
+    ...  # run
+    obs.export_chrome_trace("trace.json")
+    obs.counters.snapshot()
+
+Across machines (how ``python -m repro.experiments --trace`` observes
+every machine a scenario builds internally)::
+
+    with repro.obs.observed(trace=True) as session:
+        result = run_counter_benchmark("mp-server", 10)
+    session.export_chrome_trace("trace.json")
+    session.aggregate()  # merged counters across all observed machines
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.bus import EventBus
+from repro.obs.counters import PerfCounters, counters_csv, latency_bucket, merge_counters
+from repro.obs.perfetto import TraceCollector, write_chrome_trace
+
+__all__ = [
+    "EventBus",
+    "Observability",
+    "ObsSession",
+    "PerfCounters",
+    "TraceCollector",
+    "attach",
+    "counters_csv",
+    "disable",
+    "enable",
+    "latency_bucket",
+    "merge_counters",
+    "observed",
+    "write_chrome_trace",
+]
+
+
+class Observability:
+    """One machine's observability: bus + counters (+ trace collector)."""
+
+    def __init__(self, machine, *, trace: bool = False,
+                 trace_limit: int = 500_000, label: Optional[str] = None):
+        if machine.sim.obs is not None:
+            raise RuntimeError("observability already enabled on this machine")
+        self.machine = machine
+        #: free-form run label (process name in merged traces)
+        self.label = label or machine.cfg.name
+        self.bus = EventBus(machine.sim)
+        self.counters = PerfCounters(machine)
+        self.bus.subscribe(self.counters.on_event)
+        self.trace: Optional[TraceCollector] = None
+        if trace:
+            self.trace = TraceCollector(num_cores=len(machine.cores),
+                                        limit=trace_limit)
+            self.bus.subscribe(self.trace.on_event)
+        machine.sim.obs = self.bus
+
+    def export_chrome_trace(self, path: str) -> int:
+        """Write this machine's trace as Chrome/Perfetto JSON."""
+        if self.trace is None:
+            raise RuntimeError("tracing was not enabled; pass trace=True")
+        return write_chrome_trace([(self.label, self.trace)], path)
+
+
+class ObsSession:
+    """Observes every :class:`Machine` constructed while it is active."""
+
+    def __init__(self, *, trace: bool = False, trace_limit: int = 500_000):
+        self.trace = trace
+        self.trace_limit = trace_limit
+        self.machines: List[Observability] = []
+
+    def register(self, ob: Observability) -> None:
+        self.machines.append(ob)
+
+    def reset(self) -> None:
+        """Forget observed machines (e.g. between experiments)."""
+        self.machines.clear()
+
+    def aggregate(self) -> Dict[str, Any]:
+        """Counters snapshot merged across every observed machine."""
+        agg: Dict[str, Any] = {}
+        for ob in self.machines:
+            merge_counters(agg, ob.counters.snapshot())
+        return agg
+
+    def metrics_csv(self) -> str:
+        """The aggregated counters as long-format CSV."""
+        return counters_csv(self.aggregate())
+
+    def export_chrome_trace(self, path: str) -> int:
+        """Merge every observed machine's trace into one file.
+
+        Each machine becomes one "process" in the trace, labelled with
+        its run name, so a sweep's points sit side by side in Perfetto.
+        """
+        pairs: List[Tuple[str, TraceCollector]] = [
+            (ob.label, ob.trace) for ob in self.machines if ob.trace is not None
+        ]
+        if not pairs:
+            raise RuntimeError("no traced machines in this session")
+        return write_chrome_trace(pairs, path)
+
+
+#: the active session new machines auto-attach to (None = off)
+_SESSION: Optional[ObsSession] = None
+
+
+def enable(*, trace: bool = False, trace_limit: int = 500_000) -> ObsSession:
+    """Start observing every machine constructed from now on."""
+    global _SESSION
+    if _SESSION is not None:
+        raise RuntimeError("an observability session is already active")
+    _SESSION = ObsSession(trace=trace, trace_limit=trace_limit)
+    return _SESSION
+
+
+def disable() -> None:
+    """Stop auto-attaching observability to new machines."""
+    global _SESSION
+    _SESSION = None
+
+
+@contextmanager
+def observed(*, trace: bool = False, trace_limit: int = 500_000):
+    """``with repro.obs.observed() as session:`` scoped session."""
+    session = enable(trace=trace, trace_limit=trace_limit)
+    try:
+        yield session
+    finally:
+        disable()
+
+
+def attach(machine) -> Optional[Observability]:
+    """Machine-constructor hook: join the active session, if any."""
+    if _SESSION is None:
+        return None
+    ob = Observability(machine, trace=_SESSION.trace,
+                       trace_limit=_SESSION.trace_limit)
+    _SESSION.register(ob)
+    return ob

@@ -1,0 +1,106 @@
+"""The machine-wide observability event bus.
+
+Every hardware model (cache directory, atomics controllers, UDN fabric,
+NoC links, the engine itself) and every delegation core publishes
+structured events to one :class:`EventBus` hung off the simulator.  The
+bus is *opt-in per machine*: :attr:`Simulator.obs` is ``None`` unless
+observability was enabled, and every publish site guards with::
+
+    obs = self.sim.obs
+    if obs is not None:
+        obs.emit("cache.miss", core=cid, line=line_no, ...)
+
+so a run without observability pays exactly one attribute load and a
+``None`` comparison per would-be event -- no allocation, no call.
+
+Event taxonomy
+--------------
+Events are ``(cycle, kind, fields)`` triples.  ``kind`` is a dotted
+string naming the subsystem and occurrence; ``fields`` is a small dict.
+The kinds emitted by the simulator (fields in parentheses; ``start`` is
+the first cycle of a span, the emit time is its end):
+
+=====================  =====================================================
+kind                   meaning
+=====================  =====================================================
+``cache.miss``         a coherence miss was resolved (core, line, op,
+                       transition, latency)
+``cache.stall``        a core finished stalling on the coherence protocol
+                       (core, cycles, why, line, start)
+``cache.inval``        a core's cached copy was invalidated
+                       (core = the victim, line, by = writer core or
+                       None for a memory-controller atomic)
+``fence.stall``        fence pipeline cost or store-buffer drain
+                       (core, cycles, why, start)
+``atomic.exec``        an RMW executed (core, line, ctrl, cold, service)
+``atomic.stall``       the issuing core's full RMW round trip
+                       (core, cycles, line, start)
+``atomic.cas_fail``    a CAS observed an unexpected value (core, line)
+``udn.send``           a message was injected (core, dst_tid, dst_core,
+                       words)
+``udn.backpressure``   a sender finished blocking on a full destination
+                       buffer (core, dst_core, cycles, start)
+``udn.deliver``        words landed in a receive queue (core, demux,
+                       words, latency)
+``udn.recv``           a receive completed (core, tid, words, waited,
+                       start)
+``udn.timeout``        a timed send/receive expired (core, op, waited)
+``noc.link``           a packet occupied one mesh link (a, b, wait, busy)
+``noc.packet``         a packet fully traversed the contended mesh
+                       (src, dst, words, cycles)
+``proc.spawn``         a simulator process started (name)
+``proc.exit``          a process finished normally (name)
+``proc.kill``          a process was fail-stop crashed (name)
+``proc.interrupt``     a process was interrupted (name)
+``combiner.open``      a thread entered a combining session (core, tid,
+                       prim)
+``combiner.close``     a combining session ended (core, tid, prim, ops,
+                       start)
+``server.req``         a dedicated servicing thread completed one request
+                       (core, client, prim)
+``fault.retry``        a client retried an operation after a timeout
+                       (core, tid, prim)
+``fault.failover``     a client switched servers (core, tid, prim)
+``fault.takeover``     a successor seized a stale combiner lease
+                       (core, tid, prim)
+=====================  =====================================================
+
+Subscribers are plain callables ``fn(cycle, kind, fields)``; they must
+treat events as read-only and must not touch simulation state (the bus
+is an observer, never an actor -- enabling it cannot change an
+execution).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = ["EventBus"]
+
+Subscriber = Callable[[int, str, Dict[str, Any]], None]
+
+
+class EventBus:
+    """Fan-out of structured observability events to subscribers."""
+
+    __slots__ = ("sim", "events_emitted", "_subs")
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: total events published (cheap health metric)
+        self.events_emitted = 0
+        self._subs: List[Subscriber] = []
+
+    def subscribe(self, fn: Subscriber) -> None:
+        """Register ``fn(cycle, kind, fields)`` for every event."""
+        self._subs.append(fn)
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        self._subs.remove(fn)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Publish one event at the current cycle."""
+        self.events_emitted += 1
+        t = self.sim.now
+        for fn in self._subs:
+            fn(t, kind, fields)

@@ -1,0 +1,269 @@
+"""Hardware performance counters derived from the observability bus.
+
+:class:`PerfCounters` is the "perf counter file" of the simulated chip:
+a set of monotonically increasing registers maintained from
+:class:`~repro.obs.bus.EventBus` events plus the cores' own cycle
+registers.  Like real PMUs it is queried with before/after snapshots::
+
+    before = machine.obs.counters.snapshot()
+    ...  # run a measurement window
+    delta = machine.obs.counters.delta(before)
+    delta["core"][3]["miss.load.M->S"]   # misses by coherence transition
+    delta["line"][17]["stall_cycles"]    # per-cache-line contention
+    delta["link"]["4->5"]["flit_cycles"] # mesh link occupancy
+    delta["udn_hist"][6]                 # deliveries with latency in [32,64)
+
+Register groups
+---------------
+``core``      per-core: misses by transition (``miss.load.M->S``,
+              ``miss.store.inv``, ...), ``invalidations_received``,
+              ``cas_failures``, event-derived stall cycles
+              (``stall_mem`` / ``stall_atomic`` / ``stall_fence``), UDN
+              words/messages sent and received, backpressure cycles.
+``line``      per-cache-line: ``misses``, ``invalidations``,
+              ``stall_cycles``, ``atomics``, ``cas_failures`` -- the raw
+              material of the contention heatmap.
+``link``      per directed mesh link (``"a->b"`` keys): ``flit_cycles``
+              (occupancy) and ``wait_cycles`` (queueing).
+``udn_hist``  histogram of message delivery latencies; bucket ``k``
+              counts deliveries with latency in ``[2^(k-1), 2^k)``
+              cycles (bucket 0 is latency 0).
+``global``    chip-wide: combining sessions/ops, process lifecycle
+              counts, timeouts, retries.
+``hw``        the per-core cycle registers (``busy``, ``stall_*``,
+              ``wait``, ``rmr``, op counts) read straight from
+              :class:`~repro.machine.core.Core` -- the registers the
+              paper's own Figure 4a methodology reads.
+
+The event-derived ``stall_*`` registers in ``core`` must always equal
+the ``hw`` stall registers: both are incremented at the same sites with
+the same values, and a test holds them together (the guard against
+double-counting when the accounting is refactored).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict
+
+__all__ = ["PerfCounters", "counters_csv", "merge_counters", "latency_bucket"]
+
+
+def latency_bucket(latency: int) -> int:
+    """Histogram bucket for a latency: 0, then ``[2^(k-1), 2^k)`` -> k."""
+    if latency <= 0:
+        return 0
+    return max(1, latency.bit_length())
+
+
+def _nested() -> Dict[Any, Dict[str, int]]:
+    return defaultdict(lambda: defaultdict(int))
+
+
+def merge_counters(into: Dict[str, Any], frm: Dict[str, Any]) -> Dict[str, Any]:
+    """Accumulate one snapshot/delta dict into another (for aggregation)."""
+    for group in ("core", "line", "link", "hw"):
+        dst = into.setdefault(group, {})
+        for key, regs in frm.get(group, {}).items():
+            d = dst.setdefault(key, {})
+            for name, v in regs.items():
+                d[name] = d.get(name, 0) + v
+    for group in ("udn_hist", "global"):
+        dst = into.setdefault(group, {})
+        for key, v in frm.get(group, {}).items():
+            dst[key] = dst.get(key, 0) + v
+    return into
+
+
+class PerfCounters:
+    """Monotonic counter registers fed by bus events (see module docs)."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.core = _nested()       # cid -> register -> value
+        self.line = _nested()       # line no -> register -> value
+        self.link = _nested()       # "a->b" -> register -> value
+        self.udn_hist: Dict[int, int] = defaultdict(int)
+        self.global_: Dict[str, int] = defaultdict(int)
+
+    # -- event ingestion ----------------------------------------------------
+    def on_event(self, t: int, kind: str, f: Dict[str, Any]) -> None:
+        handler = _HANDLERS.get(kind)
+        if handler is not None:
+            handler(self, t, f)
+
+    def _on_cache_miss(self, t, f):
+        c = self.core[f["core"]]
+        c["miss." + f["op"] + "." + f["transition"]] += 1
+        c["misses"] += 1
+        ln = self.line[f["line"]]
+        ln["misses"] += 1
+        ln["miss_latency_cycles"] += f["latency"]
+
+    def _on_cache_stall(self, t, f):
+        self.core[f["core"]]["stall_mem"] += f["cycles"]
+        line = f.get("line")
+        if line is not None:
+            self.line[line]["stall_cycles"] += f["cycles"]
+
+    def _on_cache_inval(self, t, f):
+        self.core[f["core"]]["invalidations_received"] += 1
+        self.line[f["line"]]["invalidations"] += 1
+
+    def _on_fence_stall(self, t, f):
+        self.core[f["core"]]["stall_fence"] += f["cycles"]
+
+    def _on_atomic_exec(self, t, f):
+        c = self.core[f["core"]]
+        c["atomics"] += 1
+        if f.get("cold"):
+            c["atomics_cold"] += 1
+        ln = self.line[f["line"]]
+        ln["atomics"] += 1
+        self.global_["atomic_service_cycles"] += f.get("service", 0)
+
+    def _on_atomic_stall(self, t, f):
+        self.core[f["core"]]["stall_atomic"] += f["cycles"]
+        self.line[f["line"]]["stall_cycles"] += f["cycles"]
+
+    def _on_cas_fail(self, t, f):
+        self.core[f["core"]]["cas_failures"] += 1
+        self.line[f["line"]]["cas_failures"] += 1
+
+    def _on_udn_send(self, t, f):
+        c = self.core[f["core"]]
+        c["udn_msgs_sent"] += 1
+        c["udn_words_sent"] += f["words"]
+
+    def _on_udn_backpressure(self, t, f):
+        self.core[f["core"]]["backpressure_cycles"] += f["cycles"]
+        self.global_["backpressure_events"] += 1
+
+    def _on_udn_deliver(self, t, f):
+        self.udn_hist[latency_bucket(f["latency"])] += 1
+        self.global_["udn_deliveries"] += 1
+
+    def _on_udn_recv(self, t, f):
+        c = self.core[f["core"]]
+        c["udn_msgs_received"] += 1
+        c["udn_words_received"] += f["words"]
+        c["udn_wait_cycles"] += f["waited"]
+
+    def _on_udn_timeout(self, t, f):
+        self.global_["udn_timeouts"] += 1
+
+    def _on_noc_link(self, t, f):
+        lk = self.link[f"{f['a']}->{f['b']}"]
+        lk["flit_cycles"] += f["busy"]
+        lk["wait_cycles"] += f["wait"]
+
+    def _on_noc_packet(self, t, f):
+        self.global_["noc_packets"] += 1
+        self.global_["noc_packet_cycles"] += f["cycles"]
+
+    def _on_combiner_close(self, t, f):
+        self.global_["combining_sessions"] += 1
+        self.global_["combined_ops"] += f["ops"]
+
+    def _on_server_req(self, t, f):
+        self.core[f["core"]]["requests_served"] += 1
+        self.global_["requests_served"] += 1
+
+    def _on_proc(self, t, f, key):
+        self.global_[key] += 1
+
+    def _on_fault(self, t, f, key):
+        self.global_[key] += 1
+
+    # -- snapshots ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict copy of every register, including the core hw ones."""
+        return {
+            "core": {cid: dict(regs) for cid, regs in self.core.items()},
+            "line": {ln: dict(regs) for ln, regs in self.line.items()},
+            "link": {lk: dict(regs) for lk, regs in self.link.items()},
+            "udn_hist": dict(self.udn_hist),
+            "global": dict(self.global_),
+            "hw": {c.cid: c.snapshot() for c in self.machine.cores},
+        }
+
+    def delta(self, since: Dict[str, Any]) -> Dict[str, Any]:
+        """Register increments since a :meth:`snapshot` (same shape)."""
+        now = self.snapshot()
+        out: Dict[str, Any] = {}
+        for group in ("core", "line", "link", "hw"):
+            g: Dict[Any, Dict[str, int]] = {}
+            base = since.get(group, {})
+            for key, regs in now[group].items():
+                b = base.get(key, {})
+                d = {name: v - b.get(name, 0) for name, v in regs.items()}
+                d = {name: v for name, v in d.items() if v}
+                if d:
+                    g[key] = d
+            out[group] = g
+        for group in ("udn_hist", "global"):
+            base = since.get(group, {})
+            out[group] = {
+                k: v - base.get(k, 0)
+                for k, v in now[group].items()
+                if v - base.get(k, 0)
+            }
+        return out
+
+    # -- derived views ------------------------------------------------------
+    def service_breakdown(self, core_ids, since: Dict[str, Any]) -> Dict[str, float]:
+        """Event-derived stall and hw busy cycles over a window.
+
+        Returns ``{"busy": ..., "stall": ...}`` summed over ``core_ids``
+        -- the raw material of Figure 4a, reconstructed from the perf
+        counter file instead of the driver's ad-hoc accounting.
+        """
+        d = self.delta(since)
+        stall = busy = 0
+        for cid in core_ids:
+            regs = d["core"].get(cid, {})
+            stall += (regs.get("stall_mem", 0) + regs.get("stall_atomic", 0)
+                      + regs.get("stall_fence", 0))
+            busy += d["hw"].get(cid, {}).get("busy", 0)
+        return {"busy": float(busy), "stall": float(stall)}
+
+
+def counters_csv(agg: Dict[str, Any]) -> str:
+    """Render an aggregated snapshot/delta as long-format CSV."""
+    lines = ["scope,id,counter,value"]
+    for group in ("core", "line", "link", "hw"):
+        for key in sorted(agg.get(group, {}), key=str):
+            for name in sorted(agg[group][key]):
+                v = agg[group][key][name]
+                if v:
+                    lines.append(f"{group},{key},{name},{v}")
+    for k in sorted(agg.get("udn_hist", {})):
+        lines.append(f"udn_hist,{k},deliveries,{agg['udn_hist'][k]}")
+    for name in sorted(agg.get("global", {})):
+        lines.append(f"global,,{name},{agg['global'][name]}")
+    return "\n".join(lines) + "\n"
+
+
+_HANDLERS = {
+    "cache.miss": PerfCounters._on_cache_miss,
+    "cache.stall": PerfCounters._on_cache_stall,
+    "cache.inval": PerfCounters._on_cache_inval,
+    "fence.stall": PerfCounters._on_fence_stall,
+    "atomic.exec": PerfCounters._on_atomic_exec,
+    "atomic.stall": PerfCounters._on_atomic_stall,
+    "atomic.cas_fail": PerfCounters._on_cas_fail,
+    "udn.send": PerfCounters._on_udn_send,
+    "udn.backpressure": PerfCounters._on_udn_backpressure,
+    "udn.deliver": PerfCounters._on_udn_deliver,
+    "udn.recv": PerfCounters._on_udn_recv,
+    "udn.timeout": PerfCounters._on_udn_timeout,
+    "noc.link": PerfCounters._on_noc_link,
+    "noc.packet": PerfCounters._on_noc_packet,
+    "combiner.close": PerfCounters._on_combiner_close,
+    "server.req": PerfCounters._on_server_req,
+    "proc.kill": lambda self, t, f: self._on_proc(t, f, "proc_kills"),
+    "proc.interrupt": lambda self, t, f: self._on_proc(t, f, "proc_interrupts"),
+    "fault.retry": lambda self, t, f: self._on_fault(t, f, "ops_retried"),
+    "fault.failover": lambda self, t, f: self._on_fault(t, f, "failovers"),
+    "fault.takeover": lambda self, t, f: self._on_fault(t, f, "takeovers"),
+}

@@ -1,0 +1,158 @@
+"""Chrome/Perfetto trace export of observability events.
+
+:class:`TraceCollector` subscribes to the event bus and records spans
+and instants in the Chrome Trace Event format (the JSON flavour both
+``chrome://tracing`` and https://ui.perfetto.dev open directly).
+
+Track layout (one traced machine = one "process"):
+
+* one thread track per core (``tid`` = core id) carrying coherence
+  stalls, atomic round trips, receive waits, combining sessions and
+  served requests;
+* a ``udn`` track for message deliveries;
+* one track per *used* mesh link (allocated lazily) carrying link
+  occupancy spans;
+* a ``sim`` track for process lifecycle / fault events.
+
+Timestamps are simulated cycles written into the ``ts``/``dur``
+microsecond fields -- the absolute unit is meaningless for a simulator,
+the relative scale is what matters.  Events are sorted by timestamp at
+export, so the file always satisfies the monotonicity the viewers
+expect.  The collector caps recorded events (``limit``) and counts what
+it drops, so tracing a long run degrades to a truncated trace instead
+of unbounded memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceCollector", "write_chrome_trace"]
+
+
+class TraceCollector:
+    """Record bus events as Chrome trace events (see module docs)."""
+
+    def __init__(self, num_cores: int, limit: int = 500_000):
+        self.num_cores = num_cores
+        self.limit = limit
+        self.dropped = 0
+        #: recorded events: (ts, dur_or_None, tid, name, cat, args)
+        self.records: List[Tuple[int, Optional[int], int, str, str, Dict[str, Any]]] = []
+        self.sim_track = num_cores
+        self.udn_track = num_cores + 1
+        self._link_tracks: Dict[str, int] = {}
+        self._next_track = num_cores + 2
+
+    # -- recording ----------------------------------------------------------
+    def _add(self, ts: int, dur: Optional[int], tid: int, name: str,
+             cat: str, args: Dict[str, Any]) -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append((ts, dur, tid, name, cat, args))
+
+    def _link_track(self, a: int, b: int) -> int:
+        key = f"{a}->{b}"
+        tid = self._link_tracks.get(key)
+        if tid is None:
+            tid = self._next_track
+            self._next_track += 1
+            self._link_tracks[key] = tid
+        return tid
+
+    def on_event(self, t: int, kind: str, f: Dict[str, Any]) -> None:
+        if kind == "cache.stall":
+            self._add(f["start"], f["cycles"], f["core"],
+                      "stall:" + f["why"], "cache", {"line": f.get("line")})
+        elif kind == "fence.stall":
+            self._add(f["start"], f["cycles"], f["core"],
+                      "stall:" + f["why"], "cache", {})
+        elif kind == "cache.miss":
+            self._add(t, None, f["core"],
+                      f"miss:{f['op']}:{f['transition']}", "cache",
+                      {"line": f["line"], "latency": f["latency"]})
+        elif kind == "atomic.stall":
+            self._add(f["start"], f["cycles"], f["core"], "atomic", "atomic",
+                      {"line": f["line"]})
+        elif kind == "atomic.cas_fail":
+            self._add(t, None, f["core"], "cas-fail", "atomic",
+                      {"line": f["line"]})
+        elif kind == "udn.send":
+            self._add(t, None, f["core"], f"send->t{f['dst_tid']}", "udn",
+                      {"words": f["words"], "dst_core": f["dst_core"]})
+        elif kind == "udn.backpressure":
+            self._add(f["start"], f["cycles"], f["core"], "backpressure",
+                      "udn", {"dst_core": f["dst_core"]})
+        elif kind == "udn.recv":
+            self._add(f["start"], f["waited"], f["core"], "recv", "udn",
+                      {"words": f["words"], "tid": f["tid"]})
+        elif kind == "udn.deliver":
+            self._add(t, None, self.udn_track, f"deliver@c{f['core']}", "udn",
+                      {"words": f["words"], "latency": f["latency"]})
+        elif kind == "udn.timeout":
+            self._add(t, None, f["core"], f"timeout:{f['op']}", "fault",
+                      {"waited": f["waited"]})
+        elif kind == "noc.link":
+            self._add(t, f["busy"], self._link_track(f["a"], f["b"]),
+                      f"link {f['a']}->{f['b']}", "noc", {"wait": f["wait"]})
+        elif kind == "combiner.close":
+            self._add(f["start"], t - f["start"], f["core"], "combine",
+                      "combiner", {"ops": f["ops"], "prim": f["prim"]})
+        elif kind == "server.req":
+            self._add(t, None, f["core"], "req", "server",
+                      {"client": f["client"], "prim": f["prim"]})
+        elif kind in ("proc.kill", "proc.interrupt"):
+            self._add(t, None, self.sim_track, kind, "fault",
+                      {"name": f["name"]})
+
+    # -- export -------------------------------------------------------------
+    def track_names(self) -> Dict[int, str]:
+        names = {cid: f"core {cid}" for cid in range(self.num_cores)}
+        names[self.sim_track] = "sim"
+        names[self.udn_track] = "udn"
+        for key, tid in self._link_tracks.items():
+            names[tid] = f"link {key}"
+        return names
+
+    def trace_events(self, pid: int) -> List[Dict[str, Any]]:
+        """This collector's records as Chrome trace-event dicts."""
+        used = {rec[2] for rec in self.records}
+        out: List[Dict[str, Any]] = []
+        for tid, name in sorted(self.track_names().items()):
+            if tid in used:
+                out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                            "tid": tid, "args": {"name": name}})
+        for ts, dur, tid, name, cat, args in sorted(self.records,
+                                                    key=lambda r: (r[0], r[2])):
+            ev: Dict[str, Any] = {"name": name, "cat": cat, "pid": pid,
+                                  "tid": tid, "ts": ts, "args": args}
+            if dur is None:
+                ev["ph"] = "i"
+                ev["s"] = "t"
+            else:
+                ev["ph"] = "X"
+                ev["dur"] = dur
+            out.append(ev)
+        return out
+
+
+def write_chrome_trace(collectors: Sequence[Tuple[str, TraceCollector]],
+                       path: str) -> int:
+    """Write labelled collectors as one Chrome trace JSON file.
+
+    Each (label, collector) pair becomes one "process" in the trace, so
+    several benchmark runs can be compared side by side in Perfetto.
+    Returns the number of trace events written.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, (label, col) in enumerate(collectors):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": label}})
+        events.extend(col.trace_events(pid))
+    doc = {"traceEvents": events, "displayTimeUnit": "ns",
+           "otherData": {"unit": "simulated cycles"}}
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(events)

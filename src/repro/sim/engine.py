@@ -208,6 +208,9 @@ class Process:
             self._waiting_on._discard_waiter(self)
             self._waiting_on = None
         self._resume_gen += 1  # cancel any pending resume (e.g. an int sleep)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("proc.interrupt", name=self.name)
         self.sim._schedule_throw(self, Interrupt(cause))
 
     def kill(self, cause: Any = None) -> None:
@@ -263,12 +266,18 @@ class Process:
         # must execute nothing, not even cleanup.
         self.sim._corpses.append(self.gen)
         self.sim._forget(self)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("proc.kill", name=self.name)
         self._done_event.trigger(None)
 
     def _finish(self, result: Any) -> None:
         self.alive = False
         self.result = result
         self.sim._forget(self)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("proc.exit", name=self.name)
         self._done_event.trigger(result)
 
     def describe_wait(self) -> str:
@@ -344,10 +353,14 @@ class Simulator:
     """
 
     __slots__ = ("now", "_heap", "_seq", "_nevents", "max_events",
-                 "detect_deadlock", "_processes", "_corpses", "_current")
+                 "detect_deadlock", "_processes", "_corpses", "_current", "obs")
 
     def __init__(self, max_events: Optional[int] = None):
         self.now: int = 0
+        #: observability event bus (:mod:`repro.obs`); ``None`` = off.
+        #: Publishers guard every emit with ``if sim.obs is not None``,
+        #: so a run without observability pays only that comparison.
+        self.obs = None
         self._heap: List[Any] = []
         self._seq: int = 0
         self._nevents: int = 0
@@ -384,6 +397,8 @@ class Simulator:
         """
         proc = Process(self, gen, name, daemon=daemon)
         self._processes.add(proc)
+        if self.obs is not None:
+            self.obs.emit("proc.spawn", name=name)
         self._schedule_resume(proc, None)
         return proc
 

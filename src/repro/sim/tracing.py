@@ -77,8 +77,19 @@ class Trace:
         return out
 
     def window(self, start: int, end: int) -> "Trace":
+        """Spans overlapping [start, end), clipped to the window.
+
+        Clipping matters: a span straddling a boundary contributes only
+        its in-window portion, so :meth:`by_kind` totals over a window
+        never exceed ``(end - start) * num_threads``.
+        """
         t = Trace()
-        t.spans = [s for s in self.spans if s.end > start and s.start < end]
+        for s in self.spans:
+            lo = max(s.start, start)
+            hi = min(s.end, end)
+            zero_len = s.start == s.end and start <= s.start < end
+            if lo < hi or zero_len:
+                t.spans.append(Span(s.tid, s.kind, lo, hi, s.detail))
         return t
 
 

@@ -227,6 +227,10 @@ class UdnFabric:
                     waited = self.sim.now - t0
                     core.wait += waited
                     self.backpressure_cycles += waited
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.emit("udn.timeout", core=core.cid, op="send",
+                                 waited=waited)
                     raise SendTimeout(
                         f"send of {n} words to thread {dst_tid} timed out after "
                         f"{waited} cycles of backpressure", waited
@@ -238,36 +242,52 @@ class UdnFabric:
         if blocked:
             core.wait += blocked
             self.backpressure_cycles += blocked
+        obs = self.sim.obs
+        if obs is not None:
+            if blocked:
+                obs.emit("udn.backpressure", core=core.cid, cycles=blocked,
+                         dst_core=dst_core_id, start=t0)
+            obs.emit("udn.send", core=core.cid, dst_tid=dst_tid,
+                     dst_core=dst_core_id, words=n)
         inject = cfg.udn_send_base + cfg.udn_send_per_word * n
         core.busy += inject
         core.msgs_sent += 1
         yield inject
 
         payload = [w for w in words]
+        sent_at = self.sim.now
         if self.contended is not None:
             self.sim.spawn(
-                self._contended_delivery(core.node, dst_core_id, demux, payload),
+                self._contended_delivery(core.node, dst_core_id, demux, payload, sent_at),
                 name=f"udn-pkt->{dst_tid}",
             )
         else:
             transit = self.mesh.latency(core.node, self.cores[dst_core_id].node, n)
             if self.transit_jitter is not None:
                 transit += int(self.transit_jitter(core.node, self.cores[dst_core_id].node, n))
-            self.sim.call_after(transit, lambda: self._deliver(dst_core_id, demux, payload))
+            self.sim.call_after(
+                transit, lambda: self._deliver(dst_core_id, demux, payload, sent_at))
 
     def _contended_delivery(self, src_node: int, dst_core_id: int, demux: int,
-                            payload: List[int]) -> Generator[Any, Any, None]:
+                            payload: List[int], sent_at: int) -> Generator[Any, Any, None]:
         yield from self.contended.transit(src_node, self.cores[dst_core_id].node, len(payload))
         if self.transit_jitter is not None:
             extra = int(self.transit_jitter(src_node, self.cores[dst_core_id].node, len(payload)))
             if extra:
                 yield extra
-        self._deliver(dst_core_id, demux, payload)
+        self._deliver(dst_core_id, demux, payload, sent_at)
 
-    def _deliver(self, dst_core_id: int, demux: int, payload: List[int]) -> None:
+    def _deliver(self, dst_core_id: int, demux: int, payload: List[int],
+                 sent_at: Optional[int] = None) -> None:
         q = self._queues[dst_core_id][demux]
         q.words.extend(payload)
         self.messages_delivered += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("udn.deliver", core=dst_core_id, demux=demux,
+                     words=len(payload),
+                     latency=self.sim.now - (sent_at if sent_at is not None
+                                             else self.sim.now))
         q.arrival_cond.notify_all()
 
     def receive(self, core: Core, tid: int, k: int = 1,
@@ -299,6 +319,10 @@ class UdnFabric:
                 if exc.cause is timer:
                     waited = self.sim.now - t0
                     core.wait += waited
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.emit("udn.timeout", core=core.cid, op="receive",
+                                 waited=waited)
                     raise ReceiveTimeout(
                         f"receive of {k} words by thread {tid} timed out after "
                         f"{waited} cycles ({len(q.words)} words queued)", waited
@@ -309,6 +333,10 @@ class UdnFabric:
         waited = self.sim.now - t0
         if waited:
             core.wait += waited
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit("udn.recv", core=core.cid, tid=tid, words=k,
+                     waited=waited, start=t0)
         cost = self.cfg.udn_recv_base + self.cfg.udn_recv_per_word * k
         core.busy += cost
         core.msgs_received += 1

@@ -120,6 +120,8 @@ def run_workload(
     snapshots = {cid: machine.cores[cid].snapshot() for cid in service_ids}
     app_snapshots = [ctx.core.snapshot() for ctx in ctxs]
     sessions_before = len(prim.combining_sessions) if prim is not None else 0
+    obs = machine.obs
+    obs_before = obs.counters.snapshot() if obs is not None else None
 
     machine.run(until=spec.warmup_cycles + spec.measure_cycles)
     in_window["on"] = False
@@ -136,7 +138,9 @@ def run_workload(
     if latencies:
         arr = np.asarray(latencies)
         result.mean_latency_cycles = float(arr.mean())
+        result.p50_latency_cycles = float(np.percentile(arr, 50))
         result.p95_latency_cycles = float(np.percentile(arr, 95))
+        result.p99_latency_cycles = float(np.percentile(arr, 99))
 
     # servicing-thread breakdown (Figure 4a):  For server approaches the
     # service core set is fixed; for combiners it is every core that
@@ -182,5 +186,31 @@ def run_workload(
         result.duplicates_suppressed = int(stats.get("duplicates_suppressed", 0))
         result.failovers = int(stats.get("failovers", 0))
         result.takeovers = int(stats.get("takeovers", 0))
+
+    # observability: reconstruct the same numbers from the perf counter
+    # file and attach window totals to the result (``obs.*`` extras)
+    if obs is not None:
+        obs.label = f"{name} T={n}"
+        delta = obs.counters.delta(obs_before)
+        if service_ids and total_ops:
+            bd = obs.counters.service_breakdown(service_ids, obs_before)
+            result.extra["obs.service_cycles_per_op"] = (
+                (bd["busy"] + bd["stall"]) / total_ops)
+            result.extra["obs.service_stall_per_op"] = bd["stall"] / total_ops
+        cores = delta["core"].values()
+        result.extra["obs.misses"] = float(
+            sum(c.get("misses", 0) for c in cores))
+        result.extra["obs.invalidations"] = float(
+            sum(c.get("invalidations_received", 0) for c in cores))
+        result.extra["obs.udn_words_sent"] = float(
+            sum(c.get("udn_words_sent", 0) for c in cores))
+        result.extra["obs.flit_cycles"] = float(
+            sum(lk.get("flit_cycles", 0) for lk in delta["link"].values()))
+        if delta["line"]:
+            hot_line, hot = max(delta["line"].items(),
+                                key=lambda kv: kv[1].get("stall_cycles", 0))
+            result.extra["obs.hottest_line"] = float(hot_line)
+            result.extra["obs.hottest_line_stall_cycles"] = float(
+                hot.get("stall_cycles", 0))
 
     return result

@@ -23,7 +23,9 @@ class RunResult:
 
     #: mean request latency in cycles (Figure 3b)
     mean_latency_cycles: float = 0.0
+    p50_latency_cycles: float = 0.0
     p95_latency_cycles: float = 0.0
+    p99_latency_cycles: float = 0.0
 
     #: ops per thread in the window (fairness, Section 5.3)
     per_thread_ops: List[int] = field(default_factory=list)

@@ -1,0 +1,263 @@
+"""Tests for the observability subsystem: event bus + perf counters."""
+
+import pytest
+
+import repro.obs as obs
+from repro.core import CCSynch, HybComb, MPServer, OpTable
+from repro.machine import Machine, tile_gx
+from repro.obs.counters import latency_bucket, merge_counters
+
+
+def _counter_body(table, machine):
+    a = machine.mem.alloc(1)
+
+    def body(c, arg):
+        v = yield from c.load(a)
+        yield from c.store(a, v + arg)
+        return v + arg
+
+    return table.register(body), a
+
+
+# -- bus basics ------------------------------------------------------------
+
+def test_obs_off_by_default():
+    m = Machine(tile_gx())
+    assert m.sim.obs is None
+    assert m.obs is None
+
+
+def test_enable_observability_idempotent():
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    assert m.sim.obs is ob.bus
+    assert m.enable_observability() is ob
+
+
+def test_double_enable_raises():
+    m = Machine(tile_gx())
+    m.enable_observability()
+    with pytest.raises(RuntimeError):
+        obs.Observability(m)
+
+
+def test_bus_emit_and_subscribe():
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    seen = []
+    ob.bus.subscribe(lambda t, kind, f: seen.append((t, kind, f)))
+
+    def prog(ctx):
+        yield from ctx.load(m.mem.alloc(1))
+
+    ctx = m.thread(0)
+    m.spawn(ctx, prog(ctx))
+    m.run()
+    kinds = [k for _t, k, _f in seen]
+    assert "proc.spawn" in kinds
+    assert "cache.miss" in kinds
+    assert "proc.exit" in kinds
+    assert ob.bus.events_emitted == len(seen)
+    # timestamps are the simulator clock and never decrease
+    times = [t for t, _k, _f in seen]
+    assert times == sorted(times)
+
+
+def test_observed_session_auto_attaches_machines():
+    with obs.observed() as session:
+        m1 = Machine(tile_gx())
+        m2 = Machine(tile_gx())
+    assert len(session.machines) == 2
+    assert m1.obs is not None and m2.obs is not None
+    # session closed: new machines no longer attach
+    m3 = Machine(tile_gx())
+    assert m3.obs is None
+
+
+def test_nested_sessions_rejected():
+    with obs.observed():
+        with pytest.raises(RuntimeError):
+            obs.enable()
+
+
+# -- counters --------------------------------------------------------------
+
+def test_latency_bucket_edges():
+    assert latency_bucket(0) == 0
+    assert latency_bucket(1) == 1
+    assert latency_bucket(2) == 2
+    assert latency_bucket(3) == 2
+    assert latency_bucket(4) == 3
+    assert latency_bucket(63) == 6
+    assert latency_bucket(64) == 7
+
+
+def test_counters_track_mpserver_run():
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    table = OpTable()
+    op, _a = _counter_body(table, m)
+    prim = MPServer(m, table, server_tid=0)
+    prim.start()
+
+    def client(ctx, n):
+        for _ in range(n):
+            yield from prim.apply_op(ctx, op, 1)
+
+    n_clients, n_ops = 4, 25
+    for t in range(1, n_clients + 1):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx, n_ops))
+    m.run()
+
+    snap = ob.counters.snapshot()
+    total = n_clients * n_ops
+    assert snap["global"]["requests_served"] == total
+    assert snap["core"][0]["requests_served"] == total
+    # every request is a 3-word send + 1-word response
+    sent = sum(c.get("udn_msgs_sent", 0) for c in snap["core"].values())
+    assert sent == 2 * total
+    assert snap["global"]["udn_deliveries"] == 2 * total
+    assert sum(snap["udn_hist"].values()) == 2 * total
+
+
+def test_event_stalls_equal_hw_registers():
+    """The double-count guard: event-derived stall registers must equal
+    the cores' own stall registers exactly (same charge sites)."""
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    table = OpTable()
+    op, _a = _counter_body(table, m)
+    prim = CCSynch(m, table)
+
+    def client(ctx, n):
+        for _ in range(n):
+            yield from prim.apply_op(ctx, op, 1)
+            yield from ctx.fence()
+
+    for t in range(6):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx, 20))
+    m.run()
+
+    snap = ob.counters.snapshot()
+    for cid, hw in snap["hw"].items():
+        ev = snap["core"].get(cid, {})
+        for reg in ("stall_mem", "stall_atomic", "stall_fence"):
+            assert ev.get(reg, 0) == hw[reg], (cid, reg)
+
+
+def test_counters_delta_and_merge():
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    a = m.mem.alloc(1)
+
+    def prog(ctx, n):
+        for _ in range(n):
+            yield from ctx.faa(a, 1)
+
+    ctx = m.thread(0)
+    m.spawn(ctx, prog(ctx, 10))
+    m.run()
+    before = ob.counters.snapshot()
+    ctx2 = m.thread(1)
+    m.spawn(ctx2, prog(ctx2, 5))
+    m.run()
+    delta = ob.counters.delta(before)
+    # only the second batch appears, and zero entries are dropped
+    assert delta["core"][1]["atomics"] == 5
+    assert 0 not in delta["core"] or "atomics" not in delta["core"].get(0, {})
+    merged = merge_counters({}, before)
+    merge_counters(merged, delta)
+    assert merged["core"][0]["atomics"] == 10
+    assert merged["core"][1]["atomics"] == 5
+
+
+def test_cas_failures_counted_per_line():
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    a = m.mem.alloc(1)
+    m.mem.poke(a, 7)
+
+    def prog(ctx):
+        ok = yield from ctx.cas(a, 0, 1)   # fails: value is 7
+        assert not ok
+        ok = yield from ctx.cas(a, 7, 1)   # succeeds
+        assert ok
+
+    ctx = m.thread(0)
+    m.spawn(ctx, prog(ctx))
+    m.run()
+    snap = ob.counters.snapshot()
+    line = m.mem.line_of(a)
+    assert snap["core"][0]["cas_failures"] == 1
+    assert snap["line"][line]["cas_failures"] == 1
+    assert snap["hw"][0]["cas_failures"] == 1
+
+
+def test_invalidation_attribution():
+    """A writer invalidating a sharer shows up on the victim's counter."""
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    a = m.mem.alloc(1, isolated=True)
+
+    def reader(ctx):
+        yield from ctx.load(a)          # install S on core 0
+
+    def writer(ctx):
+        yield from ctx.work(200)        # after the reader finished
+        yield from ctx.store(a, 1)      # invalidates core 0
+        yield from ctx.fence()
+
+    r = m.thread(0)
+    w = m.thread(1)
+    m.spawn(r, reader(r))
+    m.spawn(w, writer(w))
+    m.run()
+    snap = ob.counters.snapshot()
+    assert snap["core"][0]["invalidations_received"] == 1
+    assert snap["line"][m.mem.line_of(a)]["invalidations"] == 1
+
+
+def test_zero_overhead_when_off():
+    """With obs off the simulation takes the exact same cycle path."""
+    def run(enable):
+        m = Machine(tile_gx())
+        if enable:
+            m.enable_observability()
+        table = OpTable()
+        op, a = _counter_body(table, m)
+        prim = HybComb(m, table)
+
+        def client(ctx, n):
+            for _ in range(n):
+                yield from prim.apply_op(ctx, op, 1)
+
+        for t in range(5):
+            ctx = m.thread(t)
+            m.spawn(ctx, client(ctx, 10))
+        m.run()
+        return m.now, m.mem.peek(a), [c.snapshot() for c in m.cores]
+
+    assert run(False) == run(True)
+
+
+def test_session_aggregate_and_csv():
+    with obs.observed() as session:
+        for _ in range(2):
+            m = Machine(tile_gx())
+            a = m.mem.alloc(1)
+
+            def prog(ctx):
+                yield from ctx.faa(a, 1)
+
+            ctx = m.thread(0)
+            m.spawn(ctx, prog(ctx))
+            m.run()
+    agg = session.aggregate()
+    assert agg["core"][0]["atomics"] == 2
+    csv = session.metrics_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "scope,id,counter,value"
+    assert any(ln.startswith("core,0,atomics,2") for ln in lines)
+    assert any(ln.startswith("hw,0,") for ln in lines)

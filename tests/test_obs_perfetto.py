@@ -1,0 +1,152 @@
+"""Chrome/Perfetto trace export: JSON schema and track-layout checks."""
+
+import json
+
+import repro.obs as obs
+from repro.core import MPServer, OpTable
+from repro.machine import Machine, tile_gx
+from repro.obs.perfetto import TraceCollector
+
+
+def _run_mpserver(num_clients=4, ops=20):
+    m = Machine(tile_gx())
+    table = OpTable()
+    a = m.mem.alloc(1)
+
+    def body(c, arg):
+        v = yield from c.load(a)
+        yield from c.store(a, v + arg)
+        return v + arg
+
+    op = table.register(body)
+    prim = MPServer(m, table, server_tid=0)
+    prim.start()
+
+    def client(ctx, n):
+        for _ in range(n):
+            yield from prim.apply_op(ctx, op, 1)
+
+    for t in range(1, num_clients + 1):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx, ops))
+    return m
+
+
+def test_chrome_trace_schema(tmp_path):
+    with obs.observed(trace=True) as session:
+        m = _run_mpserver()
+        m.run()
+        path = tmp_path / "trace.json"
+        n = session.export_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    assert len(events) == n > 0
+
+    meta = [e for e in events if e["ph"] == "M"]
+    real = [e for e in events if e["ph"] != "M"]
+    # one process per traced machine, named after its label
+    procs = [e for e in meta if e["name"] == "process_name"]
+    assert len(procs) == 1 and procs[0]["pid"] == 0
+
+    # a thread_name track exists for every core that emitted events
+    named = {(e["pid"], e["tid"]): e["args"]["name"]
+             for e in meta if e["name"] == "thread_name"}
+    used = {(e["pid"], e["tid"]) for e in real}
+    assert used <= set(named)
+    # the server core and at least one client core have core tracks
+    assert named[(0, 0)] == "core 0"
+    assert any(nm == "udn" for nm in named.values())
+
+    # every real event: required keys, monotonic ts per track after sort
+    for e in real:
+        assert e["ph"] in ("X", "i")
+        assert isinstance(e["ts"], int) and e["ts"] >= 0
+        if e["ph"] == "X":
+            assert isinstance(e["dur"], int) and e["dur"] >= 0
+        else:
+            assert e["s"] == "t"
+        assert "name" in e and "cat" in e and "args" in e
+    ts = [e["ts"] for e in real]
+    assert ts == sorted(ts)
+
+
+def test_trace_events_per_core_track():
+    with obs.observed(trace=True) as session:
+        m = _run_mpserver(num_clients=3)
+        m.run()
+    col = session.machines[0].trace
+    events = col.trace_events(pid=0)
+    real = [e for e in events if e["ph"] != "M"]
+    # clients 1..3 sit on cores 1..3: each core track must carry events
+    tids = {e["tid"] for e in real}
+    assert {0, 1, 2, 3} <= tids
+    names = col.track_names()
+    assert names[col.sim_track] == "sim"
+    assert names[col.udn_track] == "udn"
+
+
+def test_trace_limit_counts_drops():
+    col = TraceCollector(num_cores=2, limit=3)
+    for i in range(10):
+        col.on_event(i, "cache.miss",
+                     {"core": 0, "line": 1, "op": "load",
+                      "transition": "mem->S", "latency": 5})
+    assert len(col.records) == 3
+    assert col.dropped == 7
+
+
+def test_merged_export_assigns_one_pid_per_machine(tmp_path):
+    with obs.observed(trace=True) as session:
+        for _ in range(2):
+            m = _run_mpserver(num_clients=2, ops=5)
+            m.run()
+        path = tmp_path / "merged.json"
+        session.export_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {0, 1}
+
+
+def test_export_without_trace_raises(tmp_path):
+    with obs.observed(trace=False) as session:
+        m = Machine(tile_gx())
+        assert m.obs.trace is None
+        try:
+            session.export_chrome_trace(str(tmp_path / "x.json"))
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError("expected RuntimeError")
+
+
+def test_combiner_spans_recorded():
+    from repro.core import CCSynch
+    with obs.observed(trace=True) as session:
+        m = Machine(tile_gx())
+        table = OpTable()
+        a = m.mem.alloc(1)
+
+        def body(c, arg):
+            v = yield from c.load(a)
+            yield from c.store(a, v + 1)
+            return v
+
+        op = table.register(body)
+        prim = CCSynch(m, table)
+
+        def client(ctx, n):
+            for _ in range(n):
+                yield from prim.apply_op(ctx, op, 0)
+
+        for t in range(4):
+            ctx = m.thread(t)
+            m.spawn(ctx, client(ctx, 10))
+        m.run()
+    col = session.machines[0].trace
+    combines = [r for r in col.records if r[3] == "combine"]
+    assert combines
+    for ts, dur, _tid, _name, cat, args in combines:
+        assert cat == "combiner"
+        assert dur >= 0
+        assert args["prim"] == "CC-Synch"
