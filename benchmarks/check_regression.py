@@ -1,0 +1,84 @@
+"""Benchmark regression gate: compare a fresh BENCH_*.json to a baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT BASELINE [--threshold 0.10]
+
+Exits non-zero when any (series, thread-count) point's throughput fell
+more than ``threshold`` (default 10%) below the committed baseline, or
+when the two records are not comparable (different machine profile
+fingerprint or quick/full mode) -- an incomparable baseline must be
+regenerated deliberately, not skipped silently.
+
+The simulator is deterministic (seeded workloads, no wall-clock in the
+model), so identical code produces identical numbers and the gate has
+no run-to-run noise to absorb; the threshold only leaves headroom for
+intentional small cost-model adjustments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> int:
+    if current.get("config_fingerprint") != baseline.get("config_fingerprint"):
+        print("FAIL: machine-profile fingerprint changed "
+              f"({baseline.get('config_fingerprint')} -> "
+              f"{current.get('config_fingerprint')}); the cost model moved, "
+              "regenerate the committed baseline to acknowledge the new "
+              "numbers")
+        return 1
+    if current.get("full") != baseline.get("full"):
+        print("FAIL: quick/full mode mismatch between current and baseline")
+        return 1
+
+    failures = []
+    checked = 0
+    for label, base_points in baseline.get("series", {}).items():
+        cur_points = {p["x"]: p for p in
+                      current.get("series", {}).get(label, [])}
+        for bp in base_points:
+            cp = cur_points.get(bp["x"])
+            if cp is None:
+                failures.append(f"{label} x={bp['x']}: point disappeared")
+                continue
+            checked += 1
+            base_t, cur_t = bp["throughput_mops"], cp["throughput_mops"]
+            if base_t > 0 and cur_t < base_t * (1.0 - threshold):
+                failures.append(
+                    f"{label} x={bp['x']}: throughput {cur_t:.2f} Mops/s is "
+                    f"{100 * (1 - cur_t / base_t):.1f}% below baseline "
+                    f"{base_t:.2f}"
+                )
+
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s) past the "
+              f"{threshold:.0%} gate:")
+        for msg in failures:
+            print("  " + msg)
+        return 1
+    print(f"OK: {checked} benchmark points within {threshold:.0%} "
+          "of the baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional throughput drop "
+                             "(default 0.10)")
+    args = parser.parse_args(argv)
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    return compare(current, baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,12 +14,17 @@ and denser sweeps used to produce EXPERIMENTS.md (minutes instead of
 seconds).
 """
 
+import json
 import os
 
 import pytest
 
 #: full-fidelity mode toggle
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+#: where machine-readable benchmark results land (the regression gate's
+#: input); override with REPRO_BENCH_OUT
+BENCH_OUT_DIR = os.environ.get("REPRO_BENCH_OUT", ".")
 
 
 @pytest.fixture(scope="session")
@@ -44,6 +49,43 @@ def series_ys(fig, label, metric):
 
 def tput(r):
     return r.throughput_mops
+
+
+def write_bench_json(fig, filename, *, metrics=None):
+    """Write one figure's numbers as a machine-readable benchmark record.
+
+    The record carries the active machine profile's fingerprint so the
+    regression gate (``benchmarks/check_regression.py``) refuses to
+    compare numbers measured under different cost models, and the
+    ``full`` flag so quick and full sweeps never cross-compare either.
+    """
+    from repro.machine.config import tile_gx
+
+    series = {}
+    for label, s in fig.series.items():
+        series[label] = [
+            {
+                "x": x,
+                "threads": r.num_threads,
+                "ops": r.ops,
+                "throughput_mops": r.throughput_mops,
+                "latency_p50_cycles": r.p50_latency_cycles,
+                "latency_p99_cycles": r.p99_latency_cycles,
+            }
+            for x, r in s.points
+        ]
+    doc = {
+        "figure": fig.figure_id,
+        "config_fingerprint": tile_gx().fingerprint(),
+        "full": FULL,
+        "series": series,
+    }
+    path = os.path.join(BENCH_OUT_DIR, filename)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"[bench record written to {path}]")
+    return path
 
 
 def print_figure(fig, metric=tput):

@@ -12,13 +12,14 @@ Regenerates the three panels and asserts the paper's shape claims:
   MP-SERVER), while CC-SYNCH saturates at low MAX_OPS.
 """
 
-from benchmarks.conftest import print_figure, run_once, tput
+from benchmarks.conftest import print_figure, run_once, tput, write_bench_json
 from repro.experiments.fig3 import run_fig3a_3b, run_fig3c
 
 
 def test_fig3a_counter_throughput(benchmark, quick):
     fig_a, _ = run_once(benchmark, run_fig3a_3b, quick=quick)
     print_figure(fig_a)
+    write_bench_json(fig_a, "BENCH_fig3.json")
 
     high_t = max(x for x, _ in fig_a.series["mp-server"].points)
     mp = fig_a.series["mp-server"]

@@ -10,11 +10,14 @@ from __future__ import annotations
 import io
 from typing import Callable, Dict, Sequence
 
+from repro.analysis.critpath import CATEGORIES, CritPathReport, diff_reports, stragglers
 from repro.analysis.series import FigureData
 from repro.workload.metrics import RunResult
 
 __all__ = ["ascii_chart", "bar_chart", "markdown_table",
-           "render_latency_histogram", "render_line_heatmap", "to_csv"]
+           "render_blame_breakdown", "render_cdf", "render_critpath_diff",
+           "render_latency_histogram", "render_line_heatmap",
+           "render_stragglers", "to_csv"]
 
 _MARKS = "*o+x#@%&"
 
@@ -127,6 +130,119 @@ def render_latency_histogram(buckets: Dict[int, int], *, width: int = 50,
         rng = "0" if k == 0 else f"{lo}-{hi}"
         bar = "#" * int(v / peak * width)
         out.write(f"  {rng:>12s} |{bar:<{width}s}| {v}\n")
+    return out.getvalue()
+
+
+def render_blame_breakdown(report: CritPathReport, *, width: int = 50) -> str:
+    """Per-category blame totals of one run, plus the whole-run path mix.
+
+    Top block: cycles per measured op by category (mean over the run).
+    Bottom block: the cycle mix along the whole-run critical path -- the
+    chain whose dominant category names the bottleneck resource.
+    """
+    out = io.StringIO()
+    n = len(report.measured_ops)
+    out.write(f"critical-path blame: {report.label}"
+              f" ({n} measured ops")
+    if report.incomplete_ops:
+        out.write(f", {report.incomplete_ops} incomplete")
+    if report.truncated:
+        out.write(", TRUNCATED event stream")
+    out.write(")\n")
+    if not n:
+        out.write("  [no measured ops]\n")
+        return out.getvalue()
+    total = sum(report.blame.values())
+    peak = max(report.blame.values()) or 1
+    out.write("  per-op blame (cycles/op):\n")
+    for cat in CATEGORIES:
+        v = report.blame.get(cat, 0)
+        if not v:
+            continue
+        bar = "#" * max(1, int(v / peak * width))
+        out.write(f"  {cat:>13s} |{bar:<{width}s}| {v / n:8.1f}"
+                  f"  ({100.0 * v / total:4.1f}%)\n")
+    if report.path_blame:
+        ptotal = report.path_cycles
+        out.write(f"  whole-run critical path: {ptotal} cycles,"
+                  f" dominant = {report.path_dominant}\n")
+        for cat in CATEGORIES:
+            v = report.path_blame.get(cat, 0)
+            if v:
+                out.write(f"  {cat:>13s} {v:>10d}"
+                          f"  ({100.0 * v / ptotal:4.1f}%)\n")
+    return out.getvalue()
+
+
+def render_stragglers(report: CritPathReport, k: int = 10) -> str:
+    """The K slowest measured ops with their dominant blame category."""
+    out = io.StringIO()
+    slow = stragglers(report, k)
+    out.write(f"p99 stragglers: {report.label}"
+              f" ({len(slow)} slowest of {len(report.measured_ops)} ops)\n")
+    if not slow:
+        out.write("  [no measured ops]\n")
+        return out.getvalue()
+    out.write(f"  {'op':>8s} {'tid':>4s} {'latency':>8s} {'dominant':>13s}"
+              "  blame\n")
+    for o in slow:
+        mix = " ".join(
+            f"{cat}={v}" for cat, v in
+            sorted(o.blame.items(), key=lambda kv: -kv[1])
+        )
+        out.write(f"  {o.op:>8d} {o.tid:>4d} {o.latency:>8d}"
+                  f" {o.dominant:>13s}  {mix}\n")
+    return out.getvalue()
+
+
+def render_critpath_diff(a: CritPathReport, b: CritPathReport,
+                         *, width: int = 40) -> str:
+    """A/B two runs' per-op blame: where do the extra cycles go?"""
+    out = io.StringIO()
+    out.write(f"critical-path diff: A={a.label}  B={b.label}"
+              "  (cycles/op; delta = B - A)\n")
+    d = diff_reports(a, b)
+    if not d:
+        out.write("  [no blame data]\n")
+        return out.getvalue()
+    peak = max(abs(v["delta"]) for v in d.values()) or 1.0
+    out.write(f"  {'category':>13s} {'A':>10s} {'B':>10s} {'delta':>10s}\n")
+    for cat in CATEGORIES:
+        v = d.get(cat)
+        if v is None:
+            continue
+        mark = "+" if v["delta"] >= 0 else "-"
+        bar = mark * max(1, int(abs(v["delta"]) / peak * width))
+        out.write(f"  {cat:>13s} {v['a']:>10.1f} {v['b']:>10.1f}"
+                  f" {v['delta']:>+10.1f} |{bar}\n")
+    out.write(f"  dominant: A={a.dominant}  B={b.dominant}\n")
+    return out.getvalue()
+
+
+def render_cdf(samples: Sequence[int], *, width: int = 60, height: int = 16,
+               title: str = "op latency CDF") -> str:
+    """Full latency CDF from raw per-op samples (``--latency-dump``)."""
+    out = io.StringIO()
+    out.write(f"{title} ({len(samples)} samples)\n")
+    if not samples:
+        out.write("  [no samples]\n")
+        return out.getvalue()
+    xs = sorted(samples)
+    lo, hi = xs[0], xs[-1]
+    span = (hi - lo) or 1
+    n = len(xs)
+    grid = [[" "] * width for _ in range(height)]
+    from bisect import bisect_right
+    for col in range(width):
+        x = lo + span * col / (width - 1 if width > 1 else 1)
+        frac = bisect_right(xs, x) / n
+        row = min(height - 1, int(frac * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    for i, row in enumerate(grid):
+        frac = (height - 1 - i) / (height - 1)
+        out.write(f"  {frac:4.2f} |" + "".join(row) + "\n")
+    out.write("       +" + "-" * width + "\n")
+    out.write(f"        cycles: {lo} .. {hi}\n")
     return out.getvalue()
 
 

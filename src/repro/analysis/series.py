@@ -7,7 +7,22 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.workload.metrics import RunResult
 
-__all__ = ["Series", "FigureData"]
+__all__ = ["Series", "FigureData", "cdf_points"]
+
+
+def cdf_points(samples: List[int]) -> List[Tuple[int, float]]:
+    """Empirical CDF of raw latency samples as (latency, fraction<=).
+
+    The full-distribution view behind ``--latency-dump``: p50/p99 hide
+    the straggler tail the paper's latency discussion is about.
+    """
+    xs = sorted(samples)
+    n = len(xs)
+    out: List[Tuple[int, float]] = []
+    for i, x in enumerate(xs):
+        if i + 1 == n or xs[i + 1] != x:
+            out.append((x, (i + 1) / n))
+    return out
 
 
 @dataclass
@@ -34,6 +49,14 @@ class Series:
 
     def peak(self, metric: Callable[[RunResult], float]) -> float:
         return max(self.ys(metric)) if self.points else 0.0
+
+    def latency_samples(self) -> List[int]:
+        """All raw per-op latency samples across this curve's points."""
+        out: List[int] = []
+        for _x, r in self.points:
+            if r.latency_samples:
+                out.extend(r.latency_samples)
+        return out
 
 
 @dataclass

@@ -88,6 +88,10 @@ class CCSynch(SyncPrimitive):
         mem.poke(self.tail_addr, dummy)
         # thread-local spare nodes
         self._spare: Dict[int, int] = {}
+        #: node address -> tid whose request currently occupies it (pure
+        #: Python bookkeeping for observability; never read by the
+        #: protocol, costs no simulated cycles)
+        self._node_owner: Dict[int, int] = {}
         self._service_cores: List[int] = []
         self._combiner_ctx = None
         if fixed_combiner_tid is not None:
@@ -121,16 +125,21 @@ class CCSynch(SyncPrimitive):
         tmp = self._initial_dummy
         while True:
             nxt = yield from ctx.spin_until(tmp + _NEXT, lambda v: v != 0)
+            svc_start = ctx.sim.now
             op = yield from ctx.load(tmp + _OPCODE)
             a = yield from ctx.load(tmp + _ARG)
             obs = ctx.sim.obs
+            client = self._node_owner.get(tmp)
             if obs is not None:
-                obs.emit("server.req", core=ctx.core.cid, client=None,
+                obs.emit("server.req", core=ctx.core.cid, client=client,
                          prim=self.name)
             ret = yield from execute(ctx, op, a)
             yield from ctx.store(tmp + _RET, ret)
             yield from ctx.store(tmp + _COMPLETED, 1)
             yield from ctx.store(tmp + _WAIT, 0)
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid, client=client,
+                         prim=self.name, start=svc_start)
             tmp = nxt
 
     def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
@@ -147,6 +156,7 @@ class CCSynch(SyncPrimitive):
         yield from ctx.store(cur + _ARG, arg)
         yield from ctx.store(cur + _NEXT, mynode)
         self._spare[ctx.tid] = cur
+        self._node_owner[cur] = ctx.tid
         # 3. local spin
         yield from ctx.spin_until(cur + _WAIT, lambda v: v == 0)
         done = yield from ctx.load(cur + _COMPLETED)
@@ -163,11 +173,13 @@ class CCSynch(SyncPrimitive):
             self._service_cores.append(ctx.core.cid)
         self.current_combiner_core = ctx.core.cid
         self.session_begin(ctx)
+        obs = ctx.sim.obs
         own_ret = 0
         tmp = cur
         count = 0
         while count < self.max_ops:
-            nxt = yield from ctx.load(tmp + _NEXT)
+            svc_start = ctx.sim.now
+            nxt = yield from ctx.load(tmp + _NEXT)   # RMR: owner wrote the link
             if nxt == 0:
                 break
             count += 1
@@ -185,6 +197,10 @@ class CCSynch(SyncPrimitive):
                 yield from ctx.store(tmp + _RET, ret)
                 yield from ctx.store(tmp + _COMPLETED, 1)
             yield from ctx.store(tmp + _WAIT, 0)
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid,
+                         client=self._node_owner.get(tmp),
+                         prim=self.name, start=svc_start)
             tmp = nxt
         # handover: release whoever owns the node we stopped at
         yield from ctx.store(tmp + _WAIT, 0)

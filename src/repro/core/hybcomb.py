@@ -204,12 +204,16 @@ class HybComb(SyncPrimitive):
                     sender, fp, farg = yield from ctx.receive(3, timeout=hb_every)
                 except ReceiveTimeout:
                     continue
+            svc_start = self.machine.now
             obs = ctx.sim.obs
             if obs is not None:
                 obs.emit("server.req", core=ctx.core.cid, client=sender,
                          prim=self.name)
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid, client=sender,
+                         prim=self.name, start=svc_start)
 
     # -- lease helpers ---------------------------------------------------------
     def _heartbeat(self, ctx: ThreadCtx, my_node: int) -> Generator[Any, Any, None]:
@@ -345,9 +349,14 @@ class HybComb(SyncPrimitive):
         execute = self.optable.execute
         if self._recovery:
             yield from self._heartbeat(ctx, my_node)
+        obs = ctx.sim.obs
         # Line 23: own operation first
+        svc_start = self.machine.now
         retval = yield from execute(ctx, opcode, arg)
         self.self_combined += 1
+        if obs is not None:
+            obs.emit("server.done", core=ctx.core.cid, client=tid,
+                     prim=self.name, start=svc_start)
         # Lines 25-28: drain the message queue while it is not empty
         ops_completed = 0
         while True:
@@ -355,9 +364,13 @@ class HybComb(SyncPrimitive):
             if empty:
                 break
             sender, fp, farg = yield from ctx.receive(3)
+            svc_start = self.machine.now
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
             ops_completed += 1
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid, client=sender,
+                         prim=self.name, start=svc_start)
             if self._recovery:
                 yield from self._heartbeat(ctx, my_node)
         # Lines 29-32: close combining for new requests
@@ -376,9 +389,13 @@ class HybComb(SyncPrimitive):
                 ops_completed += 1
                 yield from self._heartbeat(ctx, my_node)
                 continue
+            svc_start = self.machine.now
             r = yield from execute(ctx, fp, farg)
             yield from ctx.send(sender, [r])
             ops_completed += 1
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid, client=sender,
+                         prim=self.name, start=svc_start)
             if self._recovery:
                 yield from self._heartbeat(ctx, my_node)
         # Lines 38-42: exchange nodes with the departed-combiner slot,

@@ -180,6 +180,7 @@ class MPServer(SyncPrimitive):
         execute = self.optable.execute
         while True:
             sender, opcode, arg = yield from ctx.receive(REQUEST_WORDS)
+            svc_start = ctx.sim.now
             obs = ctx.sim.obs
             if obs is not None:
                 obs.emit("server.req", core=ctx.core.cid, client=sender,
@@ -187,6 +188,9 @@ class MPServer(SyncPrimitive):
             retval = yield from execute(ctx, opcode, arg)
             yield from ctx.send(sender, [retval])
             self.requests_served += 1
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid, client=sender,
+                         prim=self.name, start=svc_start)
 
     # -- fault-tolerant protocol --------------------------------------------
     def _ft_server_loop(self, ctx: ThreadCtx) -> Generator[Any, Any, None]:
@@ -194,6 +198,7 @@ class MPServer(SyncPrimitive):
         execute = self.optable.execute
         while True:
             sender, seq, opcode, arg = yield from ctx.receive(FT_REQUEST_WORDS)
+            svc_start = ctx.sim.now
             obs = ctx.sim.obs
             if obs is not None:
                 obs.emit("server.req", core=ctx.core.cid, client=sender,
@@ -219,6 +224,9 @@ class MPServer(SyncPrimitive):
                     proc.shield_end()
             yield from ctx.send(sender, [seq, retval])
             self.requests_served += 1
+            if obs is not None:
+                obs.emit("server.done", core=ctx.core.cid, client=sender,
+                         prim=self.name, start=svc_start)
 
     def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
         if not self.fault_tolerant:

@@ -94,6 +94,7 @@ class ShmServer(SyncPrimitive):
         while not self._stopped:
             for i, tid in enumerate(order):
                 ch = self._channels[tid]
+                svc_start = ctx.sim.now
                 seq = yield from ctx.load(ch + _REQ_SEQ)       # R(i): RMR when fresh
                 if seq == served.get(tid, 0):
                     continue
@@ -115,6 +116,9 @@ class ShmServer(SyncPrimitive):
                 yield from ctx.store(ch + _RESP_SEQ, seq)
                 served[tid] = seq
                 self.requests_served += 1
+                if obs is not None:
+                    obs.emit("server.done", core=ctx.core.cid, client=tid,
+                             prim=self.name, start=svc_start)
             # loop-closing branch of the scan
             yield from ctx.work(1)
 

@@ -11,6 +11,12 @@ perf-counter file as ``<exp>-metrics.csv``; ``--trace`` additionally
 records every machine and writes a merged Chrome/Perfetto
 ``<exp>-trace.json`` (open in https://ui.perfetto.dev).  Both write
 under ``--trace-out DIR`` (default ``traces/``).
+
+Causal tracing (DESIGN.md §10): ``--critpath`` reconstructs per-op
+blame and the whole-run critical path (``<exp>-critpath.txt``, plus a
+HYBCOMB/CC-SYNCH diff when both ran); ``--stragglers [K]`` adds the K
+slowest ops with their dominant blame category; ``--latency-dump``
+writes every raw latency sample for full-CDF analysis.
 """
 
 from __future__ import annotations
@@ -22,12 +28,16 @@ import time
 from typing import Callable, Dict
 
 import repro.obs as obs_mod
+from repro.analysis.critpath import analyze_collector
 from repro.analysis.render import (
     ascii_chart,
     bar_chart,
     markdown_table,
+    render_blame_breakdown,
+    render_critpath_diff,
     render_latency_histogram,
     render_line_heatmap,
+    render_stragglers,
     to_csv,
 )
 from repro.analysis.series import FigureData
@@ -129,15 +139,30 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", metavar="DIR", default="traces",
                         help="directory for trace/metrics files "
                              "(default: traces)")
+    parser.add_argument("--critpath", action="store_true",
+                        help="per-op causal tracing: print critical-path "
+                             "blame breakdowns and an A/B diff, and write "
+                             "<exp>-critpath.txt (implies --perf)")
+    parser.add_argument("--stragglers", metavar="K", nargs="?", type=int,
+                        const=10, default=None,
+                        help="report the K slowest ops with their dominant "
+                             "blame category (default K=10; implies "
+                             "--critpath); writes <exp>-stragglers.txt")
+    parser.add_argument("--latency-dump", action="store_true",
+                        help="write every raw per-op latency sample as "
+                             "<exp>-latencies.csv (full CDFs)")
     args = parser.parse_args(argv)
-    if args.trace:
+    if args.stragglers is not None:
+        args.critpath = True
+    if args.trace or args.critpath:
         args.perf = True
 
     ids = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in ids if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}")
-    session = obs_mod.enable(trace=args.trace) if args.perf else None
+    session = (obs_mod.enable(trace=args.trace, causal=args.critpath)
+               if args.perf else None)
     try:
         for exp_id in ids:
             if session is not None:
@@ -149,6 +174,11 @@ def main(argv=None) -> int:
             print(render(fig))
             if session is not None:
                 _export_obs(session, exp_id, args.trace_out, args.trace)
+            if args.critpath:
+                _export_critpath(session, exp_id, args.trace_out,
+                                 args.stragglers)
+            if args.latency_dump:
+                _export_latencies(fig, exp_id, args.trace_out)
             if args.csv:
                 os.makedirs(args.csv, exist_ok=True)
                 path = os.path.join(args.csv, f"{exp_id}.csv")
@@ -198,6 +228,67 @@ def _export_obs(session, exp_id: str, out_dir: str, trace: bool) -> None:
         n = session.export_chrome_trace(tpath)
         print(f"[{n} trace events written to {tpath} -- "
               f"open in https://ui.perfetto.dev]")
+
+
+def _export_critpath(session, exp_id: str, out_dir: str,
+                     k_stragglers) -> None:
+    """Analyze causal streams; print + write blame/straggler reports.
+
+    A sweep builds one machine per (approach, thread-count) point;
+    analyzing every point would drown the terminal, so only the
+    highest-thread-count machine of each approach is reported (the
+    contended regime the paper's argument is about).
+    """
+    best = {}  # series name -> (thread count, Observability)
+    for ob in session.machines:
+        if ob.causal is None or not ob.causal.events:
+            continue
+        name, _, tpart = ob.label.rpartition(" T=")
+        try:
+            n = int(tpart)
+        except ValueError:
+            name, n = ob.label, 0
+        cur = best.get(name)
+        if cur is None or n > cur[0]:
+            best[name] = (n, ob)
+    if not best:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    reports = {name: analyze_collector(ob.causal, label=ob.label)
+               for name, (_n, ob) in sorted(best.items())}
+    chunks = [render_blame_breakdown(rep) for rep in reports.values()]
+    # the README's A/B example: HYBCOMB vs CC-SYNCH when both ran
+    hyb = next((r for n, r in reports.items() if "hyb" in n.lower()), None)
+    cc = next((r for n, r in reports.items() if "cc-" in n.lower()), None)
+    if hyb is not None and cc is not None:
+        chunks.append(render_critpath_diff(hyb, cc))
+    text = "\n".join(chunks)
+    print(text)
+    cpath = os.path.join(out_dir, f"{exp_id}-critpath.txt")
+    with open(cpath, "w") as f:
+        f.write(text)
+    print(f"[critical-path report written to {cpath}]")
+    if k_stragglers is not None:
+        stext = "\n".join(render_stragglers(rep, k_stragglers)
+                          for rep in reports.values())
+        print(stext)
+        spath = os.path.join(out_dir, f"{exp_id}-stragglers.txt")
+        with open(spath, "w") as f:
+            f.write(stext)
+        print(f"[straggler table written to {spath}]")
+
+
+def _export_latencies(fig, exp_id: str, out_dir: str) -> None:
+    """Dump raw per-op latency samples as long-format CSV."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{exp_id}-latencies.csv")
+    with open(path, "w") as f:
+        f.write("series,x,latency_cycles\n")
+        for label, s in fig.series.items():
+            for x, r in s.points:
+                for v in r.latency_samples or ():
+                    f.write(f"{label},{x:g},{v}\n")
+    print(f"[latency samples written to {path}]")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,7 +25,8 @@ Calibration anchors (from the paper's own measurements):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+from dataclasses import asdict, dataclass, replace
 from typing import Tuple
 
 __all__ = ["MachineConfig", "scc_like", "tile_gx", "x86_like"]
@@ -161,6 +162,15 @@ class MachineConfig:
     def with_overrides(self, **kw) -> "MachineConfig":
         """A copy of this config with fields replaced (validated)."""
         return replace(self, **kw)
+
+    def fingerprint(self) -> str:
+        """Stable short hash over every knob of this profile.
+
+        Tags benchmark baselines (``BENCH_*.json``) so a regression gate
+        never compares numbers measured under different cost models.
+        """
+        blob = repr(sorted(asdict(self).items()))
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
     def mops(self, ops: int, cycles: int) -> float:
         """Convert an (ops, cycles) measurement to Mops/s at this clock.

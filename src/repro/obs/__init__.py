@@ -35,10 +35,12 @@ from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.bus import EventBus
+from repro.obs.causal import CausalCollector
 from repro.obs.counters import PerfCounters, counters_csv, latency_bucket, merge_counters
 from repro.obs.perfetto import TraceCollector, write_chrome_trace
 
 __all__ = [
+    "CausalCollector",
     "EventBus",
     "Observability",
     "ObsSession",
@@ -59,7 +61,8 @@ class Observability:
     """One machine's observability: bus + counters (+ trace collector)."""
 
     def __init__(self, machine, *, trace: bool = False,
-                 trace_limit: int = 500_000, label: Optional[str] = None):
+                 trace_limit: int = 500_000, causal: bool = False,
+                 causal_limit: int = 2_000_000, label: Optional[str] = None):
         if machine.sim.obs is not None:
             raise RuntimeError("observability already enabled on this machine")
         self.machine = machine
@@ -73,6 +76,10 @@ class Observability:
             self.trace = TraceCollector(num_cores=len(machine.cores),
                                         limit=trace_limit)
             self.bus.subscribe(self.trace.on_event)
+        self.causal: Optional[CausalCollector] = None
+        if causal:
+            self.causal = CausalCollector(limit=causal_limit)
+            self.bus.subscribe(self.causal.on_event)
         machine.sim.obs = self.bus
 
     def export_chrome_trace(self, path: str) -> int:
@@ -85,9 +92,12 @@ class Observability:
 class ObsSession:
     """Observes every :class:`Machine` constructed while it is active."""
 
-    def __init__(self, *, trace: bool = False, trace_limit: int = 500_000):
+    def __init__(self, *, trace: bool = False, trace_limit: int = 500_000,
+                 causal: bool = False, causal_limit: int = 2_000_000):
         self.trace = trace
         self.trace_limit = trace_limit
+        self.causal = causal
+        self.causal_limit = causal_limit
         self.machines: List[Observability] = []
 
     def register(self, ob: Observability) -> None:
@@ -126,12 +136,14 @@ class ObsSession:
 _SESSION: Optional[ObsSession] = None
 
 
-def enable(*, trace: bool = False, trace_limit: int = 500_000) -> ObsSession:
+def enable(*, trace: bool = False, trace_limit: int = 500_000,
+           causal: bool = False, causal_limit: int = 2_000_000) -> ObsSession:
     """Start observing every machine constructed from now on."""
     global _SESSION
     if _SESSION is not None:
         raise RuntimeError("an observability session is already active")
-    _SESSION = ObsSession(trace=trace, trace_limit=trace_limit)
+    _SESSION = ObsSession(trace=trace, trace_limit=trace_limit,
+                          causal=causal, causal_limit=causal_limit)
     return _SESSION
 
 
@@ -142,9 +154,11 @@ def disable() -> None:
 
 
 @contextmanager
-def observed(*, trace: bool = False, trace_limit: int = 500_000):
+def observed(*, trace: bool = False, trace_limit: int = 500_000,
+             causal: bool = False, causal_limit: int = 2_000_000):
     """``with repro.obs.observed() as session:`` scoped session."""
-    session = enable(trace=trace, trace_limit=trace_limit)
+    session = enable(trace=trace, trace_limit=trace_limit,
+                     causal=causal, causal_limit=causal_limit)
     try:
         yield session
     finally:
@@ -156,6 +170,8 @@ def attach(machine) -> Optional[Observability]:
     if _SESSION is None:
         return None
     ob = Observability(machine, trace=_SESSION.trace,
-                       trace_limit=_SESSION.trace_limit)
+                       trace_limit=_SESSION.trace_limit,
+                       causal=_SESSION.causal,
+                       causal_limit=_SESSION.causal_limit)
     _SESSION.register(ob)
     return ob

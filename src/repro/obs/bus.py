@@ -37,11 +37,11 @@ kind                   meaning
                        (core, cycles, line, start)
 ``atomic.cas_fail``    a CAS observed an unexpected value (core, line)
 ``udn.send``           a message was injected (core, dst_tid, dst_core,
-                       words)
+                       words, msg_id)
 ``udn.backpressure``   a sender finished blocking on a full destination
                        buffer (core, dst_core, cycles, start)
 ``udn.deliver``        words landed in a receive queue (core, demux,
-                       words, latency)
+                       words, latency, msg_id)
 ``udn.recv``           a receive completed (core, tid, words, waited,
                        start)
 ``udn.timeout``        a timed send/receive expired (core, op, waited)
@@ -58,6 +58,14 @@ kind                   meaning
                        start)
 ``server.req``         a dedicated servicing thread completed one request
                        (core, client, prim)
+``server.done``        a service span ended: one client request executed
+                       and its response issued (core, client, prim,
+                       start)
+``op.begin``           an application thread issued an operation
+                       (core, tid, op = run-unique op id, prim)
+``op.end``             the operation completed on the issuing thread
+                       (core, tid, op, start, measured = in the
+                       measurement window)
 ``fault.retry``        a client retried an operation after a timeout
                        (core, tid, prim)
 ``fault.failover``     a client switched servers (core, tid, prim)

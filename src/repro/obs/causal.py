@@ -1,0 +1,70 @@
+"""Causal event collection for per-op critical-path analysis.
+
+:class:`CausalCollector` subscribes to the observability bus and keeps
+the *raw* events the happens-before reconstruction needs -- operation
+boundaries, service spans, message sends/deliveries, stalls and waits --
+in emission order.  Unlike :class:`~repro.obs.perfetto.TraceCollector`
+it performs no rendering and keeps the full field dicts, because the
+analysis layer (:mod:`repro.analysis.critpath`) needs to re-join events
+by ``op``/``msg_id``/``client`` after the run.
+
+The collector is a pure observer: it never touches simulation state, so
+enabling causal tracing cannot change an execution.  Memory is bounded
+by ``limit`` (default two million events); past it the collector drops
+events, counts them, and flags itself :attr:`truncated` so downstream
+reports can say "partial data" instead of silently lying.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["CausalCollector", "CAUSAL_KINDS"]
+
+log = logging.getLogger(__name__)
+
+#: the event kinds the happens-before reconstruction consumes; every
+#: other kind is ignored at the subscription boundary
+CAUSAL_KINDS = frozenset({
+    "op.begin",
+    "op.end",
+    "server.done",
+    "udn.send",
+    "udn.deliver",
+    "udn.recv",
+    "udn.backpressure",
+    "cache.stall",
+    "atomic.stall",
+    "fence.stall",
+    "combiner.close",
+})
+
+
+class CausalCollector:
+    """Keep the raw causal event stream of one machine (see module docs)."""
+
+    def __init__(self, limit: int = 2_000_000):
+        self.limit = limit
+        self.dropped = 0
+        #: (cycle, kind, fields) in emission order
+        self.events: List[Tuple[int, str, Dict[str, Any]]] = []
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+    def on_event(self, t: int, kind: str, f: Dict[str, Any]) -> None:
+        if kind not in CAUSAL_KINDS:
+            return
+        if len(self.events) >= self.limit:
+            if self.dropped == 0:
+                log.warning(
+                    "causal collector hit its %d-event cap; critical-path "
+                    "reports for this run will be computed from partial data",
+                    self.limit,
+                )
+            self.dropped += 1
+            return
+        # copy: the emitting site reuses field dicts on hot paths
+        self.events.append((t, kind, dict(f)))

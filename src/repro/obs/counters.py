@@ -169,6 +169,10 @@ class PerfCounters:
         self.core[f["core"]]["requests_served"] += 1
         self.global_["requests_served"] += 1
 
+    def _on_server_done(self, t, f):
+        self.core[f["core"]]["service_cycles"] += t - f["start"]
+        self.global_["ops_serviced"] += 1
+
     def _on_proc(self, t, f, key):
         self.global_[key] += 1
 
@@ -261,6 +265,7 @@ _HANDLERS = {
     "noc.packet": PerfCounters._on_noc_packet,
     "combiner.close": PerfCounters._on_combiner_close,
     "server.req": PerfCounters._on_server_req,
+    "server.done": PerfCounters._on_server_done,
     "proc.kill": lambda self, t, f: self._on_proc(t, f, "proc_kills"),
     "proc.interrupt": lambda self, t, f: self._on_proc(t, f, "proc_interrupts"),
     "fault.retry": lambda self, t, f: self._on_fault(t, f, "ops_retried"),

@@ -26,9 +26,12 @@ of unbounded memory.
 from __future__ import annotations
 
 import json
+import logging
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["TraceCollector", "write_chrome_trace"]
+
+log = logging.getLogger(__name__)
 
 
 class TraceCollector:
@@ -40,6 +43,12 @@ class TraceCollector:
         self.dropped = 0
         #: recorded events: (ts, dur_or_None, tid, name, cat, args)
         self.records: List[Tuple[int, Optional[int], int, str, str, Dict[str, Any]]] = []
+        #: flow-event bindings: (ts, tid, flow_id, phase) with phase one
+        #: of "s"/"t"/"f" -- links one op's spans across core tracks
+        self.flows: List[Tuple[int, int, int, str]] = []
+        #: per-thread current op id (from ``op.begin``), so service spans
+        #: can join the issuing op's flow
+        self._cur_op: Dict[int, int] = {}
         self.sim_track = num_cores
         self.udn_track = num_cores + 1
         self._link_tracks: Dict[str, int] = {}
@@ -49,9 +58,21 @@ class TraceCollector:
     def _add(self, ts: int, dur: Optional[int], tid: int, name: str,
              cat: str, args: Dict[str, Any]) -> None:
         if len(self.records) >= self.limit:
+            if self.dropped == 0:
+                log.warning(
+                    "trace collector hit its %d-event cap; subsequent "
+                    "events are dropped and the exported trace will be "
+                    "marked truncated", self.limit,
+                )
             self.dropped += 1
             return
         self.records.append((ts, dur, tid, name, cat, args))
+
+    def _add_flow(self, ts: int, tid: int, flow_id: int, phase: str) -> None:
+        if len(self.flows) >= self.limit:
+            self.dropped += 1
+            return
+        self.flows.append((ts, tid, flow_id, phase))
 
     def _link_track(self, a: int, b: int) -> int:
         key = f"{a}->{b}"
@@ -103,6 +124,20 @@ class TraceCollector:
         elif kind == "server.req":
             self._add(t, None, f["core"], "req", "server",
                       {"client": f["client"], "prim": f["prim"]})
+        elif kind == "op.begin":
+            self._cur_op[f["tid"]] = f["op"]
+            self._add_flow(t, f["core"], f["op"], "s")
+        elif kind == "op.end":
+            self._add(f["start"], t - f["start"], f["core"], "op", "op",
+                      {"op": f["op"], "tid": f["tid"],
+                       "measured": f["measured"]})
+            self._add_flow(t, f["core"], f["op"], "f")
+        elif kind == "server.done":
+            self._add(f["start"], t - f["start"], f["core"], "svc", "server",
+                      {"client": f["client"], "prim": f["prim"]})
+            op = self._cur_op.get(f["client"])
+            if op is not None:
+                self._add_flow(f["start"], f["core"], op, "t")
         elif kind in ("proc.kill", "proc.interrupt"):
             self._add(t, None, self.sim_track, kind, "fault",
                       {"name": f["name"]})
@@ -135,6 +170,13 @@ class TraceCollector:
                 ev["ph"] = "X"
                 ev["dur"] = dur
             out.append(ev)
+        for ts, tid, flow_id, phase in sorted(self.flows,
+                                              key=lambda r: (r[2], r[0])):
+            ev = {"name": "op-flow", "cat": "op", "pid": pid, "tid": tid,
+                  "ts": ts, "ph": phase, "id": flow_id}
+            if phase == "f":
+                ev["bp"] = "e"
+            out.append(ev)
         return out
 
 
@@ -147,12 +189,20 @@ def write_chrome_trace(collectors: Sequence[Tuple[str, TraceCollector]],
     Returns the number of trace events written.
     """
     events: List[Dict[str, Any]] = []
+    dropped = 0
     for pid, (label, col) in enumerate(collectors):
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "args": {"name": label}})
         events.extend(col.trace_events(pid))
+        dropped += col.dropped
+    other: Dict[str, Any] = {"unit": "simulated cycles"}
+    if dropped:
+        log.warning("trace %s is truncated: %d events were dropped at the "
+                    "collector cap", path, dropped)
+        other["truncated"] = True
+        other["dropped_events"] = dropped
     doc = {"traceEvents": events, "displayTimeUnit": "ns",
-           "otherData": {"unit": "simulated cycles"}}
+           "otherData": other}
     with open(path, "w") as fh:
         json.dump(doc, fh)
     return len(events)

@@ -113,6 +113,10 @@ class TracedCtx:
     def machine(self):
         return self._ctx.machine
 
+    @property
+    def sim(self):
+        return self._ctx.sim
+
     def _span(self, kind: str, gen, detail: Any = None) -> Generator:
         t0 = self._ctx.sim.now
         result = yield from gen

@@ -150,6 +150,10 @@ class UdnFabric:
         ]
         # thread id -> (core id, demux queue index)
         self._endpoints: Dict[int, Tuple[int, int]] = {}
+        #: monotonically increasing message id (tags ``udn.send`` /
+        #: ``udn.deliver`` events so the causal tracer can match a send to
+        #: its delivery -- pure observability, never read by protocols)
+        self._next_msg_id = 0
         #: total messages delivered (stats)
         self.messages_delivered = 0
         #: total cycles senders spent blocked on backpressure (stats)
@@ -242,13 +246,15 @@ class UdnFabric:
         if blocked:
             core.wait += blocked
             self.backpressure_cycles += blocked
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
         obs = self.sim.obs
         if obs is not None:
             if blocked:
                 obs.emit("udn.backpressure", core=core.cid, cycles=blocked,
                          dst_core=dst_core_id, start=t0)
             obs.emit("udn.send", core=core.cid, dst_tid=dst_tid,
-                     dst_core=dst_core_id, words=n)
+                     dst_core=dst_core_id, words=n, msg_id=msg_id)
         inject = cfg.udn_send_base + cfg.udn_send_per_word * n
         core.busy += inject
         core.msgs_sent += 1
@@ -258,7 +264,8 @@ class UdnFabric:
         sent_at = self.sim.now
         if self.contended is not None:
             self.sim.spawn(
-                self._contended_delivery(core.node, dst_core_id, demux, payload, sent_at),
+                self._contended_delivery(core.node, dst_core_id, demux, payload,
+                                         sent_at, msg_id),
                 name=f"udn-pkt->{dst_tid}",
             )
         else:
@@ -266,19 +273,21 @@ class UdnFabric:
             if self.transit_jitter is not None:
                 transit += int(self.transit_jitter(core.node, self.cores[dst_core_id].node, n))
             self.sim.call_after(
-                transit, lambda: self._deliver(dst_core_id, demux, payload, sent_at))
+                transit, lambda: self._deliver(dst_core_id, demux, payload, sent_at, msg_id))
 
     def _contended_delivery(self, src_node: int, dst_core_id: int, demux: int,
-                            payload: List[int], sent_at: int) -> Generator[Any, Any, None]:
+                            payload: List[int], sent_at: int,
+                            msg_id: Optional[int] = None) -> Generator[Any, Any, None]:
         yield from self.contended.transit(src_node, self.cores[dst_core_id].node, len(payload))
         if self.transit_jitter is not None:
             extra = int(self.transit_jitter(src_node, self.cores[dst_core_id].node, len(payload)))
             if extra:
                 yield extra
-        self._deliver(dst_core_id, demux, payload, sent_at)
+        self._deliver(dst_core_id, demux, payload, sent_at, msg_id)
 
     def _deliver(self, dst_core_id: int, demux: int, payload: List[int],
-                 sent_at: Optional[int] = None) -> None:
+                 sent_at: Optional[int] = None,
+                 msg_id: Optional[int] = None) -> None:
         q = self._queues[dst_core_id][demux]
         q.words.extend(payload)
         self.messages_delivered += 1
@@ -287,7 +296,8 @@ class UdnFabric:
             obs.emit("udn.deliver", core=dst_core_id, demux=demux,
                      words=len(payload),
                      latency=self.sim.now - (sent_at if sent_at is not None
-                                             else self.sim.now))
+                                             else self.sim.now),
+                     msg_id=msg_id)
         q.arrival_cond.notify_all()
 
     def receive(self, core: Core, tid: int, k: int = 1,

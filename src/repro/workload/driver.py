@@ -13,6 +13,7 @@ closure (e.g. alternating enqueue/dequeue with thread-unique values).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
@@ -74,6 +75,10 @@ def run_workload(
     ops_done = [0] * n
     latencies: List[int] = []
     in_window = {"on": False}
+    # run-unique op ids shared by every app thread (tags ``op.begin`` /
+    # ``op.end`` events so the causal tracer can follow one operation
+    # across cores -- pure observability, no simulated cost)
+    next_op_id = itertools.count()
 
     def app_thread(i: int, ctx: ThreadCtx, thinks: np.ndarray) -> Generator:
         op = make_op(ctx)
@@ -81,8 +86,16 @@ def run_workload(
         nthinks = len(thinks)
         sim = machine.sim
         while True:
+            obs = sim.obs
             t0 = sim.now
+            if obs is not None:
+                op_id = next(next_op_id)
+                obs.emit("op.begin", core=ctx.core.cid, tid=ctx.tid,
+                         op=op_id, prim=name)
             yield from op(k)
+            if obs is not None:
+                obs.emit("op.end", core=ctx.core.cid, tid=ctx.tid,
+                         op=op_id, start=t0, measured=in_window["on"])
             if in_window["on"]:
                 ops_done[i] += 1
                 latencies.append(sim.now - t0)
@@ -135,6 +148,7 @@ def run_workload(
         clock_mhz=machine.cfg.clock_mhz,
         per_thread_ops=list(ops_done),
     )
+    result.latency_samples = latencies
     if latencies:
         arr = np.asarray(latencies)
         result.mean_latency_cycles = float(arr.mean())

@@ -45,6 +45,11 @@ class RunResult:
     #: free-form extras (e.g. EMPTY-dequeue fraction)
     extra: Dict[str, float] = field(default_factory=dict)
 
+    #: raw per-op latency samples from the measurement window, in issue
+    #: order (full-CDF analysis / ``--latency-dump``); None when the run
+    #: predates sampling
+    latency_samples: Optional[List[int]] = None
+
     #: recovery metrics (fault-injection runs; see repro.faults)
     time_to_recovery_cycles: Optional[float] = None
     ops_retried: int = 0
