@@ -1,4 +1,17 @@
-"""Core discrete-event simulation engine.
+"""Frozen pre-optimization engine, kept as the speedup yardstick.
+
+This is a verbatim snapshot of ``repro.sim.engine`` from before the
+same-cycle fast-lane rewrite (the pure-heapq trampoline).  It exists so
+``test_bench_engine.py`` can measure the optimized engine against the
+exact code it replaced, in-process and on the same host, instead of
+trusting a number recorded on some other machine.  Do not update it
+when the real engine changes -- it is the fixed "before".
+
+Original module docstring follows.
+
+---
+
+Core discrete-event simulation engine.
 
 The engine executes *processes* -- Python generators -- against a global
 clock measured in integer cycles.  A process interacts with the simulator
@@ -25,28 +38,6 @@ Events scheduled for the same cycle fire in FIFO order of scheduling
 program produces the exact same execution every run.  All randomness in
 higher layers flows from seeded generators.
 
-Scheduler internals
--------------------
-Entries are processed in strict ``(when, seq)`` order, but they are not
-all kept in one heap.  Two tiers back the same contract (see DESIGN.md
-§11 for the invariants and the equivalence argument):
-
-* the **same-cycle fast lane**: a plain list holding entries due at the
-  current cycle, swept in chunks (grab the list, hand the scheduler a
-  fresh one, iterate the grabbed chunk).  Zero-delay resumes -- event
-  triggers, ``yield 0``, store-buffer drains -- are the dominant
-  scheduling class (>80% of pushes under the Figure 3 workloads), and
-  the lane turns each one into a list append plus one loop iteration,
-  with no heap traffic at all;
-* the **heap**, for entries due at a future cycle (hardware latencies,
-  timeouts, watchdogs).
-
-Appends to the lane happen in sequence order and everything in a
-grabbed chunk predates everything scheduled while sweeping it, so each
-tier is internally FIFO; cross-tier ordering holds because a heap entry
-due at the current cycle was necessarily scheduled before every lane
-entry of that cycle, so the due heap entries are drained first.
-
 Fault semantics
 ---------------
 Every scheduled resumption carries the target process's *resume
@@ -66,7 +57,6 @@ process and what it waits on, instead of returning silently.
 from __future__ import annotations
 
 import heapq
-import operator
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -127,18 +117,10 @@ class Event:
             raise RuntimeError("Event triggered twice")
         self.triggered = True
         self.value = value
-        waiters = self._waiters
-        n = len(waiters)
-        if n == 1:
-            # single-waiter fast path: no list swap, one direct resume
-            proc = waiters[0]
-            waiters.clear()
-            self.sim._schedule_resume(proc, value)
-        elif n:
-            self._waiters = []
-            schedule = self.sim._schedule_resume
-            for proc in waiters:
-                schedule(proc, value)
+        waiters, self._waiters = self._waiters, []
+        schedule = self.sim._schedule_resume
+        for proc in waiters:
+            schedule(proc, value)
 
     def describe(self) -> str:
         return self.label or "anonymous event"
@@ -170,7 +152,6 @@ class Process:
     __slots__ = (
         "sim",
         "gen",
-        "_send",
         "name",
         "alive",
         "daemon",
@@ -182,14 +163,12 @@ class Process:
         "_shield",
         "_pending_kill",
         "_suspended_until",
-        "_slow",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "?",
                  daemon: bool = False):
         self.sim = sim
         self.gen = gen
-        self._send = gen.send  # bound once: saves a lookup per resume
         self.name = name
         self.alive = True
         #: daemon processes (server loops etc.) may legitimately remain
@@ -208,9 +187,6 @@ class Process:
         self._shield = 0
         self._pending_kill: Any = None
         self._suspended_until = 0
-        #: one-flag summary of "needs the slow resume path" (suspended
-        #: or kill pending); lets the run loop test a single attribute
-        self._slow = False
 
     def join(self) -> Generator[Any, Any, Any]:
         """``yield from proc.join()`` waits for termination, returns its result."""
@@ -264,7 +240,6 @@ class Process:
             return
         if self._shield > 0:
             self._pending_kill = cause if cause is not None else True
-            self._slow = True  # land the deferred crash at the next resume
             return
         self._do_kill(cause)
 
@@ -288,7 +263,6 @@ class Process:
         """
         if when > self._suspended_until:
             self._suspended_until = when
-            self._slow = True  # route wakeups through the slow resume path
 
     # -- engine internal -------------------------------------------------
     def _do_kill(self, cause: Any) -> None:
@@ -311,8 +285,7 @@ class Process:
         self._done_event.trigger(None)
 
     def _finish(self, result: Any) -> None:
-        self._resume_gen += 1  # any queued wakeup is now stale (the run
-        self.alive = False     # loop tests only the generation, not alive)
+        self.alive = False
         self.result = result
         self.sim._forget(self)
         obs = self.sim.obs
@@ -392,8 +365,7 @@ class Simulator:
         print(sim.now, proc.result)
     """
 
-    __slots__ = ("now", "_heap", "_fast", "_seq",
-                 "_nevents", "max_events",
+    __slots__ = ("now", "_heap", "_seq", "_nevents", "max_events",
                  "detect_deadlock", "_processes", "_corpses", "_current", "obs")
 
     def __init__(self, max_events: Optional[int] = None):
@@ -403,9 +375,6 @@ class Simulator:
         #: so a run without observability pays only that comparison.
         self.obs = None
         self._heap: List[Any] = []
-        #: same-cycle fast lane: entries due at cycle ``now``, in
-        #: sequence order (consumed in place by index inside :meth:`run`)
-        self._fast: List[Any] = []
         self._seq: int = 0
         self._nevents: int = 0
         #: hard safety cap on processed events (None = unlimited)
@@ -461,191 +430,34 @@ class Simulator:
         self.call_at(self.now + delay, fn)
 
     def run(self, until: Optional[int] = None) -> None:
-        """Process events until none are pending or ``now`` passes ``until``.
+        """Process events until the heap is empty or ``now`` passes ``until``.
 
         With ``until`` given, the clock is left exactly at ``until`` when
         the horizon is hit (events at later cycles stay queued and can be
         processed by a subsequent :meth:`run` call).
 
-        Raises :class:`DeadlockError` if the pending-event set drains
-        while live non-daemon processes remain blocked (see
-        ``detect_deadlock``).
+        Raises :class:`DeadlockError` if the heap drains while live
+        non-daemon processes remain blocked (see ``detect_deadlock``).
         """
         heap = self._heap
-        fast = self._fast
-        fappend = fast.append
         pop = heapq.heappop
-        push = heapq.heappush
-        INT = int
-        SEND, CALLBACK = _SEND, _CALLBACK
-        max_events = self.max_events if self.max_events is not None else _NO_CAP
-        horizon = until if until is not None else _NEVER
-        if horizon < self.now:
-            # pathological but defined: a horizon in the past processes
-            # nothing and (with work pending) parks the clock at it
-            if fast or heap:
+        max_events = self.max_events
+        while heap:
+            when, _seq, proc, payload, kind, gen = heap[0]
+            if until is not None and when > until:
                 self.now = until
                 return
-        # The lane is consumed in *chunks*: grab the current list, hand
-        # the simulator a fresh one, and sweep the grabbed chunk while
-        # entries scheduled during the sweep accumulate in the new list.
-        # FIFO is preserved (everything in the chunk was scheduled before
-        # anything appended while sweeping it) and consumed entry tuples
-        # are freed as soon as the chunk is dropped, so a long same-cycle
-        # burst doesn't pin an ever-growing list of dead entries.  Lane
-        # entries are ``(proc, payload, kind, gen)`` -- their due cycle is
-        # implicitly ``self.now``, and they carry no sequence number
-        # because lane position itself is the FIFO order.  ``nevents``
-        # shadows ``self._nevents`` inside the loop.
-        chunk = iter(())
-        nevents = self._nevents
-        now = self.now
-        # Heap entries due at the *current* cycle were all scheduled
-        # before every lane entry of the cycle (smaller seq), and no heap
-        # push made while a cycle is being processed can be due within it
-        # (delays of 0 go to the lane), so each cycle is processed as:
-        # drain the due heap entries first, then sweep the lane.
-        heap_due = bool(heap) and heap[0][0] == now
-        try:
-            while True:
-                if not heap_due:
-                    if not fast:
-                        # ---- lane empty: advance the clock via the heap --
-                        if not heap:
-                            break
-                        when = heap[0][0]
-                        if when > horizon:
-                            self.now = until
-                            return
-                    else:
-                        # ---- lane sweep: the hot path --------------------
-                        chunk = iter(fast)
-                        self._fast = fast = []
-                        fappend = fast.append
-                        for proc, payload, kind, gen in chunk:
-                            if kind == SEND:
-                                # death (finish/kill) bumps the generation
-                                # too, so one compare covers stale AND
-                                # no-longer-alive
-                                if gen != proc._resume_gen:
-                                    continue  # stale wakeup: drop
-                                nevents += 1
-                                if nevents > max_events:
-                                    raise RuntimeError(
-                                        "simulation exceeded "
-                                        f"{self.max_events} events")
-                                if proc._slow:
-                                    # suspended or kill pending: out-of-line
-                                    if self._resume_slow(proc, payload,
-                                                         SEND, gen):
-                                        continue
-                                # the generation was equal to ``gen``: bump
-                                # it without re-reading the attribute
-                                proc._resume_gen = rgen = gen + 1
-                                proc._waiting_on = None
-                                self._current = proc
-                                try:
-                                    effect = proc._send(payload)
-                                except StopIteration as stop:
-                                    proc._finish(stop.value)
-                                    continue
-                                finally:
-                                    self._current = None
-                                # Dispatch on the yielded effect.  ``rgen``
-                                # is deliberately the pre-send generation:
-                                # if the body invalidated itself
-                                # (self-interrupt or kill), the entry
-                                # scheduled here must go stale.
-                                if effect.__class__ is INT:
-                                    if effect:
-                                        self._seq = seq = self._seq + 1
-                                        push(heap, (now + effect, seq, proc,
-                                                    None, SEND, rgen))
-                                    else:
-                                        fappend((proc, None, SEND, rgen))
-                                elif isinstance(effect, Event):
-                                    proc._waiting_on = effect
-                                    effect._add_waiter(proc)
-                                else:
-                                    self._schedule_resume(
-                                        proc, None,
-                                        _coerce_delay(proc, effect))
-                            elif kind == CALLBACK:
-                                nevents += 1
-                                if nevents > max_events:
-                                    raise RuntimeError(
-                                        "simulation exceeded "
-                                        f"{self.max_events} events")
-                                proc()  # proc slot holds the callable
-                            else:  # THROW (interrupts/timeouts): rare
-                                if gen != proc._resume_gen:
-                                    continue
-                                nevents += 1
-                                if nevents > max_events:
-                                    raise RuntimeError(
-                                        "simulation exceeded "
-                                        f"{self.max_events} events")
-                                self._step(proc, payload, kind, gen)
-                        # chunk swept (its tuples are freed with it); any
-                        # entries scheduled meanwhile sit in the new list
-                        continue
-                else:
-                    when = now  # due heap entry: no clock movement
-                _w, _seq, proc, payload, kind, gen = pop(heap)
-                heap_due = bool(heap) and heap[0][0] == when
-                if kind != CALLBACK and gen != proc._resume_gen:
-                    continue  # stale wakeup (interrupt/kill): drop, clock untouched
-                self.now = now = when
-                nevents += 1
-                if nevents > max_events:
-                    raise RuntimeError(
-                        f"simulation exceeded {self.max_events} events")
-                if kind == CALLBACK:
-                    proc()  # proc slot holds the callable for callbacks
-                    continue
-                # ---- step the process (heap-sourced wakeups) -------------
-                if proc._suspended_until > when:
-                    # preempted: deliver this wakeup once rescheduled
-                    self._push(proc._suspended_until, proc, payload, kind, gen)
-                    continue
-                if proc._pending_kill is not None and proc._shield == 0:
-                    proc._do_kill(proc._pending_kill)  # deferred crash lands
-                    continue
-                proc._resume_gen = rgen = gen + 1  # older entries go stale
-                proc._waiting_on = None
-                self._current = proc
-                try:
-                    if kind == _THROW:
-                        effect = proc.gen.throw(payload)
-                    else:
-                        effect = proc._send(payload)
-                except StopIteration as stop:
-                    proc._finish(stop.value)
-                    continue
-                finally:
-                    self._current = None
-                # Dispatch on the yielded effect.
-                if type(effect) is int:
-                    if effect:
-                        self._seq = seq = self._seq + 1
-                        push(heap, (when + effect, seq, proc, None, SEND,
-                                    rgen))
-                    else:
-                        fappend((proc, None, SEND, rgen))
-                elif isinstance(effect, Event):
-                    proc._waiting_on = effect
-                    effect._add_waiter(proc)
-                else:
-                    self._schedule_resume(proc, None, _coerce_delay(proc, effect))
-        finally:
-            # keep state consistent when an exception propagates out of a
-            # process body mid-chunk (max_events, user errors): unconsumed
-            # chunk entries were scheduled before everything in the
-            # current lane list, so they go back in front of it
-            self._nevents = nevents
-            rest = list(chunk)
-            if rest:
-                self._fast[:0] = rest
+            pop(heap)
+            if kind != _CALLBACK and (not proc.alive or gen != proc._resume_gen):
+                continue  # stale wakeup (interrupt/kill): drop, clock untouched
+            self.now = when
+            self._nevents += 1
+            if max_events is not None and self._nevents > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            if kind == _CALLBACK:
+                proc()  # proc slot holds the callable for callbacks
+                continue
+            self._step(proc, payload, kind, gen)
         if until is not None and self.now < until:
             self.now = until
         if self.detect_deadlock:
@@ -657,7 +469,7 @@ class Simulator:
                     for p in blocked
                 )
                 raise DeadlockError(
-                    f"deadlock at cycle {self.now}: no events are pending but "
+                    f"deadlock at cycle {self.now}: event heap is empty but "
                     f"{len(blocked)} live process(es) are still blocked:\n{lines}",
                     blocked,
                 )
@@ -667,48 +479,16 @@ class Simulator:
         self._processes.discard(proc)
 
     def _push(self, when: int, proc: Any, payload: Any, kind: int, gen: int) -> None:
-        if when == self.now:
-            # lane entries carry no (when, seq): the due cycle is the
-            # current one and the lane list itself is the FIFO order
-            self._fast.append((proc, payload, kind, gen))
-        else:
-            self._seq = seq = self._seq + 1
-            heapq.heappush(self._heap, (when, seq, proc, payload, kind, gen))
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, proc, payload, kind, gen))
 
     def _schedule_resume(self, proc: Process, value: Any, delay: int = 0) -> None:
-        # inlined _push: this is the busiest scheduling entry point
-        # (every event trigger and message wakeup lands here with delay 0)
-        if delay:
-            self._seq = seq = self._seq + 1
-            heapq.heappush(self._heap, (self.now + delay, seq, proc, value,
-                                        _SEND, proc._resume_gen))
-        else:
-            self._fast.append((proc, value, _SEND, proc._resume_gen))
+        self._push(self.now + delay, proc, value, _SEND, proc._resume_gen)
 
     def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
         self._push(self.now, proc, exc, _THROW, proc._resume_gen)
 
-    def _resume_slow(self, proc: Process, payload: Any, kind: int,
-                     gen: int) -> bool:
-        """Out-of-line half of the lane fast path (``proc._slow`` set):
-        handle a suspended or kill-pending process.  Returns True when the
-        wakeup was consumed (re-queued or the process crashed), False when
-        the process should resume normally."""
-        if proc._suspended_until > self.now:
-            # preempted: deliver this wakeup once the context reschedules
-            self._push(proc._suspended_until, proc, payload, kind, gen)
-            return True
-        if proc._pending_kill is not None:
-            if proc._shield == 0:
-                proc._do_kill(proc._pending_kill)  # deferred crash lands
-                return True
-            return False  # shielded: execute; the crash lands after commit
-        proc._slow = False  # suspension expired and nothing pending
-        return False
-
     def _step(self, proc: Process, payload: Any, kind: int, gen: int) -> None:
-        """Deliver one wakeup to ``proc`` (out-of-loop twin of the inlined
-        hot path in :meth:`run`; kept for tests and future tooling)."""
         if not proc.alive or gen != proc._resume_gen:
             return  # finished, or superseded by an interrupt/kill
         if proc._suspended_until > self.now:
@@ -718,7 +498,7 @@ class Simulator:
         if proc._pending_kill is not None and proc._shield == 0:
             proc._do_kill(proc._pending_kill)  # deferred crash lands now
             return
-        proc._resume_gen += 1  # consume: older queued entries become stale
+        proc._resume_gen += 1  # consume: older heap entries become stale
         proc._waiting_on = None
         self._current = proc
         try:
@@ -737,38 +517,19 @@ class Simulator:
         elif isinstance(effect, Event):
             proc._waiting_on = effect
             effect._add_waiter(proc)
+        elif isinstance(effect, int):  # bools / numpy ints coerced
+            self._schedule_resume(proc, None, int(effect))
         else:
-            self._schedule_resume(proc, None, _coerce_delay(proc, effect))
+            raise TypeError(
+                f"process {proc.name!r} yielded unsupported effect {effect!r}; "
+                "yield an int (delay) or an Event"
+            )
 
 
 # Event kinds in the heap.
 _SEND = 0
 _THROW = 1
 _CALLBACK = 2
-
-#: sentinel for "no horizon"
-_NEVER = float("inf")
-
-#: sentinel event cap for "unlimited" (int, so the per-event compare in
-#: the run loop stays int-vs-int)
-_NO_CAP = 1 << 63
-
-
-def _coerce_delay(proc: Process, effect: Any) -> int:
-    """Coerce a non-plain-``int`` yielded effect to a delay, or raise.
-
-    ``bool`` (``True`` is a 1-cycle sleep) and numpy integer scalars are
-    accepted through ``__index__``, which rejects floats and arbitrary
-    objects -- the explicit form of the old ``isinstance(effect, int)``
-    fallback, which silently missed numpy scalars entirely.
-    """
-    try:
-        return operator.index(effect)
-    except TypeError:
-        raise TypeError(
-            f"process {proc.name!r} yielded unsupported effect {effect!r}; "
-            "yield an int (delay) or an Event"
-        ) from None
 
 
 def all_of(sim: Simulator, procs: Iterable[Process]) -> Generator[Any, Any, list]:

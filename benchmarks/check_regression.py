@@ -23,7 +23,28 @@ import json
 import sys
 
 
+def host_perf_summary(record: dict, tag: str) -> None:
+    """Print the host-side cost of producing a record, if present.
+
+    Informational only: engine speed trends (events/sec, total wall
+    time) are worth eyeballing in CI logs, but the gate stays on the
+    simulated numbers -- host timings vary with the runner.  Old
+    records without host-perf fields just print nothing.
+    """
+    points = [p for pts in record.get("series", {}).values() for p in pts]
+    wall = sum(p.get("wall_seconds", 0.0) for p in points)
+    events = sum(p.get("events_processed", 0) for p in points)
+    if not wall or not events:
+        return
+    jobs = record.get("jobs", 1)
+    print(f"host-perf [{tag}]: {len(points)} points in {wall:.1f}s of "
+          f"worker time ({events / wall / 1e6:.2f}M events/sec, "
+          f"jobs={jobs}) -- informational, not gated")
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> int:
+    host_perf_summary(baseline, "baseline")
+    host_perf_summary(current, "current")
     if current.get("config_fingerprint") != baseline.get("config_fingerprint"):
         print("FAIL: machine-profile fingerprint changed "
               f"({baseline.get('config_fingerprint')} -> "

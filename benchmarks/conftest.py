@@ -11,7 +11,9 @@ Section 5 is.
 
 Set ``REPRO_BENCH_FULL=1`` to run with the larger measurement windows
 and denser sweeps used to produce EXPERIMENTS.md (minutes instead of
-seconds).
+seconds).  Set ``REPRO_JOBS=N`` to fan sweep points out over N worker
+processes (see ``repro.experiments.parallel``); the simulated numbers
+are identical either way, only wall time changes.
 """
 
 import json
@@ -59,6 +61,7 @@ def write_bench_json(fig, filename, *, metrics=None):
     compare numbers measured under different cost models, and the
     ``full`` flag so quick and full sweeps never cross-compare either.
     """
+    from repro.experiments.parallel import resolve_jobs
     from repro.machine.config import tile_gx
 
     series = {}
@@ -71,6 +74,12 @@ def write_bench_json(fig, filename, *, metrics=None):
                 "throughput_mops": r.throughput_mops,
                 "latency_p50_cycles": r.p50_latency_cycles,
                 "latency_p99_cycles": r.p99_latency_cycles,
+                # host-perf provenance (engine speed, not a simulated
+                # result): informational in check_regression.py, never
+                # gating, and excluded from determinism fingerprints
+                "wall_seconds": r.host_wall_seconds,
+                "events_processed": r.host_events_processed,
+                "events_per_sec": r.host_events_per_sec,
             }
             for x, r in s.points
         ]
@@ -78,6 +87,7 @@ def write_bench_json(fig, filename, *, metrics=None):
         "figure": fig.figure_id,
         "config_fingerprint": tile_gx().fingerprint(),
         "full": FULL,
+        "jobs": resolve_jobs(None),
         "series": series,
     }
     path = os.path.join(BENCH_OUT_DIR, filename)

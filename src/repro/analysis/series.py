@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.workload.metrics import RunResult
 
 __all__ = ["Series", "FigureData", "cdf_points"]
+
+#: RunResult fields excluded from determinism fingerprints: host-side
+#: provenance varies run to run by construction
+_HOST_FIELDS = ("host_wall_seconds", "host_events_processed")
 
 
 def cdf_points(samples: List[int]) -> List[Tuple[int, float]]:
@@ -85,3 +91,27 @@ class FigureData:
 
     def labels(self) -> List[str]:
         return list(self.series.keys())
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of every simulated number in the figure.
+
+        Two runs of the same experiment with the same seeds must produce
+        the same fingerprint -- this is what the engine's determinism
+        contract and the parallel sweep runner's ordered merge are held
+        to (tests/test_parallel.py, tests/test_sim_engine.py).  Host-side
+        provenance (wall time, event counts) is excluded: it measures
+        the host, not the simulation.
+        """
+        doc = {
+            "figure_id": self.figure_id,
+            "series": {
+                label: [
+                    {"x": x, **{k: v for k, v in asdict(r).items()
+                                if k not in _HOST_FIELDS}}
+                    for x, r in s.points
+                ]
+                for label, s in self.series.items()
+            },
+        }
+        blob = json.dumps(doc, sort_keys=True, default=float)
+        return hashlib.sha256(blob.encode()).hexdigest()

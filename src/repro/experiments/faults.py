@@ -19,9 +19,10 @@ Everything is seeded: two invocations produce identical numbers.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.series import FigureData
+from repro.experiments.parallel import point, run_sweep
 from repro.faults import CrashThread, FaultPlan
 from repro.workload.driver import WorkloadSpec
 from repro.workload.scenarios import run_fault_recovery_benchmark
@@ -33,7 +34,8 @@ REQUEST_TIMEOUT = 2_000
 
 
 def run_fault_recovery(quick: bool = True,
-                       clients: Sequence[int] = (2, 4, 8, 14)) -> FigureData:
+                       clients: Sequence[int] = (2, 4, 8, 14),
+                       jobs: Optional[int] = None) -> FigureData:
     spec = WorkloadSpec.quick() if quick else WorkloadSpec.full()
     # kill the primary one third into the measurement window so the
     # recovery transient and the post-failover steady state both land
@@ -46,13 +48,15 @@ def run_fault_recovery(quick: bool = True,
         "MP-SERVER failover under a primary crash (robustness extension)",
         "client threads", "throughput (Mops/s)",
     )
+    pts = []
     for t in clients:
-        healthy = run_fault_recovery_benchmark(
-            t, spec=spec, request_timeout=REQUEST_TIMEOUT)
-        fig.add_point("ft, fault-free", t, healthy)
-        crashed = run_fault_recovery_benchmark(
-            t, spec=spec, request_timeout=REQUEST_TIMEOUT, fault_plan=plan)
-        fig.add_point("ft, primary crash", t, crashed)
+        pts.append(point("ft, fault-free", t, run_fault_recovery_benchmark,
+                         t, spec=spec, request_timeout=REQUEST_TIMEOUT))
+        pts.append(point("ft, primary crash", t, run_fault_recovery_benchmark,
+                         t, spec=spec, request_timeout=REQUEST_TIMEOUT,
+                         fault_plan=plan))
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="disc-faults")):
+        fig.add_point(p.label, p.x, r)
     fig.note(f"primary server killed at cycle {crash_at} "
              f"(request timeout {REQUEST_TIMEOUT} cycles, backup on core 1)")
     fig.note("crash series: every client fails over; time-to-recovery and "

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.series import FigureData
+from repro.experiments.parallel import point, run_sweep
 from repro.workload.driver import WorkloadSpec
 from repro.workload.scenarios import APPROACH_BUILDERS, run_counter_benchmark
 
@@ -37,6 +38,7 @@ def _max_threads(approach: str) -> int:
 def run_fig3a_3b(quick: bool = True,
                  threads: Optional[Sequence[int]] = None,
                  approaches: Sequence[str] = APPROACH_BUILDERS,
+                 jobs: Optional[int] = None,
                  ) -> Tuple[FigureData, FigureData]:
     """One sweep produces both the throughput and the latency figure."""
     threads = tuple(threads if threads is not None else
@@ -46,13 +48,12 @@ def run_fig3a_3b(quick: bool = True,
                        "application threads", "throughput (Mops/s)")
     fig_b = FigureData("fig3b", "Counter latency (Fig 3b)",
                        "application threads", "latency (cycles)")
-    for approach in approaches:
-        for t in threads:
-            if t > _max_threads(approach):
-                continue
-            r = run_counter_benchmark(approach, t, spec=spec)
-            fig_a.add_point(approach, t, r)
-            fig_b.add_point(approach, t, r)
+    pts = [point(approach, t, run_counter_benchmark, approach, t, spec=spec)
+           for approach in approaches for t in threads
+           if t <= _max_threads(approach)]
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig3a/3b")):
+        fig_a.add_point(p.label, p.x, r)
+        fig_b.add_point(p.label, p.x, r)
     return fig_a, fig_b
 
 
@@ -67,6 +68,7 @@ def run_fig3b(quick: bool = True, **kw) -> FigureData:
 def run_fig3c(quick: bool = True,
               max_ops_values: Optional[Sequence[int]] = None,
               num_threads: int = 30,
+              jobs: Optional[int] = None,
               ) -> FigureData:
     """Peak counter throughput vs MAX_OPS, for HYBCOMB and CC-SYNCH.
 
@@ -79,8 +81,9 @@ def run_fig3c(quick: bool = True,
     spec = _spec(quick)
     fig = FigureData("fig3c", "Impact of the allowed combining rate (Fig 3c)",
                      "MAX_OPS", "throughput (Mops/s)")
-    for approach in ("HybComb", "CC-Synch"):
-        for mo in values:
-            r = run_counter_benchmark(approach, num_threads, spec=spec, max_ops=mo)
-            fig.add_point(approach, mo, r)
+    pts = [point(approach, mo, run_counter_benchmark, approach, num_threads,
+                 spec=spec, max_ops=mo)
+           for approach in ("HybComb", "CC-Synch") for mo in values]
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig3c")):
+        fig.add_point(p.label, p.x, r)
     return fig

@@ -17,9 +17,11 @@ from typing import Optional, Sequence
 from repro.analysis.series import FigureData
 from repro.core import OpTable
 from repro.core.api import DirectExec
+from repro.experiments.parallel import point, run_sweep
 from repro.machine import Machine, tile_gx
 from repro.objects import ArrayCS
 from repro.workload.driver import WorkloadSpec, run_workload
+from repro.workload.metrics import RunResult
 from repro.workload.scenarios import (
     APPROACH_BUILDERS,
     run_counter_benchmark,
@@ -33,7 +35,8 @@ def _spec(quick: bool) -> WorkloadSpec:
     return WorkloadSpec.quick() if quick else WorkloadSpec.full()
 
 
-def run_fig4a(quick: bool = True, num_threads: int = 30) -> FigureData:
+def run_fig4a(quick: bool = True, num_threads: int = 30,
+              jobs: Optional[int] = None) -> FigureData:
     """Stalled and total cycles per op on the servicing thread.
 
     x is categorical (the approach); each point carries the full
@@ -43,17 +46,19 @@ def run_fig4a(quick: bool = True, num_threads: int = 30) -> FigureData:
     spec = _spec(quick)
     fig = FigureData("fig4a", "CPU stalls on the servicing thread (Fig 4a)",
                      "approach", "cycles per operation")
-    for i, approach in enumerate(APPROACH_BUILDERS):
-        r = run_counter_benchmark(approach, num_threads, spec=spec,
-                                  fixed_combiner=True)
-        fig.add_point(approach, i, r)
+    pts = [point(approach, i, run_counter_benchmark, approach, num_threads,
+                 spec=spec, fixed_combiner=True)
+           for i, approach in enumerate(APPROACH_BUILDERS)]
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig4a")):
+        fig.add_point(p.label, p.x, r)
     fig.note("combiners measured in fixed-combiner mode (MAX_OPS = inf), "
              "per the paper's footnote 4")
     return fig
 
 
 def run_fig4b(quick: bool = True,
-              threads: Optional[Sequence[int]] = None) -> FigureData:
+              threads: Optional[Sequence[int]] = None,
+              jobs: Optional[int] = None) -> FigureData:
     """Actual combining rate vs application threads (MAX_OPS = 200)."""
     from repro.experiments.fig3 import FULL_THREADS, QUICK_THREADS
 
@@ -62,18 +67,43 @@ def run_fig4b(quick: bool = True,
     spec = _spec(quick)
     fig = FigureData("fig4b", "Actual combining rate (Fig 4b)",
                      "application threads", "ops per combining session")
-    for approach in ("HybComb", "CC-Synch"):
-        for t in threads:
-            if t < 2:
-                continue  # no combining with a single thread
-            r = run_counter_benchmark(approach, t, spec=spec)
-            fig.add_point(approach, t, r)
+    pts = [point(approach, t, run_counter_benchmark, approach, t, spec=spec)
+           for approach in ("HybComb", "CC-Synch") for t in threads
+           if t >= 2]  # no combining with a single thread
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig4b")):
+        fig.add_point(p.label, p.x, r)
     return fig
+
+
+def _ideal_cs_point(k: int, seed: int) -> RunResult:
+    """One "ideal" point: the CS body alone, no synchronization.
+
+    Module-level (not a closure inside :func:`run_fig4c`) so the
+    parallel sweep runner can ship it to a worker process.
+    """
+    machine = Machine(tile_gx())
+    table = OpTable()
+    prim = DirectExec(machine, table)
+    arr = ArrayCS(prim)
+    prim.start()
+    ctx = machine.thread(0)
+
+    def make_op(c):
+        def op(_i, _k=k):
+            yield from arr.run(c, _k)
+        return op
+
+    ideal_spec = WorkloadSpec(warmup_cycles=2000,
+                              measure_cycles=20_000,
+                              think_max_iterations=0,
+                              seed=seed)
+    return run_workload(machine, [ctx], make_op, ideal_spec, name="ideal")
 
 
 def run_fig4c(quick: bool = True,
               iterations: Optional[Sequence[int]] = None,
-              num_threads: int = 30) -> FigureData:
+              num_threads: int = 30,
+              jobs: Optional[int] = None) -> FigureData:
     """Cycles per CS execution vs CS body length, plus the ideal line.
 
     Under maximum load the servicing thread is saturated, so cycles per
@@ -85,30 +115,13 @@ def run_fig4c(quick: bool = True,
     spec = _spec(quick)
     fig = FigureData("fig4c", "Long critical sections (Fig 4c)",
                      "CS length (iterations)", "cycles per CS execution")
-    for approach in APPROACH_BUILDERS:
-        for k in iters:
-            r = run_cs_length_benchmark(approach, num_threads, k, spec=spec)
-            fig.add_point(approach, k, r)
+    pts = [point(approach, k, run_cs_length_benchmark, approach, num_threads,
+                 k, spec=spec)
+           for approach in APPROACH_BUILDERS for k in iters]
     # ideal line: the body with no synchronization at all
-    for k in iters:
-        machine = Machine(tile_gx())
-        table = OpTable()
-        prim = DirectExec(machine, table)
-        arr = ArrayCS(prim)
-        prim.start()
-        ctx = machine.thread(0)
-
-        def make_op(c):
-            def op(_i, _k=k):
-                yield from arr.run(c, _k)
-            return op
-
-        ideal_spec = WorkloadSpec(warmup_cycles=2000,
-                                  measure_cycles=20_000,
-                                  think_max_iterations=0,
-                                  seed=spec.seed)
-        r = run_workload(machine, [ctx], make_op, ideal_spec, name="ideal")
-        fig.add_point("ideal", k, r)
+    pts += [point("ideal", k, _ideal_cs_point, k, spec.seed) for k in iters]
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig4c")):
+        fig.add_point(p.label, p.x, r)
     fig.note("cycles per CS for the approaches = clock / throughput at "
              f"{num_threads} threads; ideal = single-thread DirectExec latency")
     return fig

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.series import FigureData
+from repro.experiments.parallel import point, run_sweep
 from repro.workload.driver import WorkloadSpec
 from repro.workload.scenarios import (
     QUEUE_IMPLS,
@@ -39,33 +40,31 @@ def _max_clients(impl: str) -> int:
 
 def run_fig5a(quick: bool = True,
               clients: Optional[Sequence[int]] = None,
-              impls: Sequence[str] = QUEUE_IMPLS) -> FigureData:
+              impls: Sequence[str] = QUEUE_IMPLS,
+              jobs: Optional[int] = None) -> FigureData:
     clients = tuple(clients if clients is not None else
                     (QUICK_CLIENTS if quick else FULL_CLIENTS))
     spec = _spec(quick)
     fig = FigureData("fig5a", "Queue throughput under balanced load (Fig 5a)",
                      "clients", "throughput (Mops/s)")
-    for impl in impls:
-        for c in clients:
-            if c > _max_clients(impl):
-                continue
-            r = run_queue_benchmark(impl, c, spec=spec)
-            fig.add_point(impl, c, r)
+    pts = [point(impl, c, run_queue_benchmark, impl, c, spec=spec)
+           for impl in impls for c in clients if c <= _max_clients(impl)]
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig5a")):
+        fig.add_point(p.label, p.x, r)
     return fig
 
 
 def run_fig5b(quick: bool = True,
               clients: Optional[Sequence[int]] = None,
-              impls: Sequence[str] = STACK_IMPLS) -> FigureData:
+              impls: Sequence[str] = STACK_IMPLS,
+              jobs: Optional[int] = None) -> FigureData:
     clients = tuple(clients if clients is not None else
                     (QUICK_CLIENTS if quick else FULL_CLIENTS))
     spec = _spec(quick)
     fig = FigureData("fig5b", "Stack throughput under balanced load (Fig 5b)",
                      "clients", "throughput (Mops/s)")
-    for impl in impls:
-        for c in clients:
-            if c > _max_clients(impl):
-                continue
-            r = run_stack_benchmark(impl, c, spec=spec)
-            fig.add_point(impl, c, r)
+    pts = [point(impl, c, run_stack_benchmark, impl, c, spec=spec)
+           for impl in impls for c in clients if c <= _max_clients(impl)]
+    for p, r in zip(pts, run_sweep(pts, jobs=jobs, name="fig5b")):
+        fig.add_point(p.label, p.x, r)
     return fig

@@ -84,14 +84,15 @@ def metric_for(figure_id: str):
     return _METRIC.get(figure_id, lambda r: r.throughput_mops)
 
 
-def run_experiment(exp_id: str, quick: bool = True) -> FigureData:
+def run_experiment(exp_id: str, quick: bool = True,
+                   jobs: "int | None" = None) -> FigureData:
     try:
         fn = EXPERIMENTS[exp_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(quick=quick)
+    return fn(quick=quick, jobs=jobs)
 
 
 def render(fig: FigureData) -> str:
@@ -128,6 +129,11 @@ def main(argv=None) -> int:
                         help=f"ids to run (default: all): {sorted(EXPERIMENTS)}")
     parser.add_argument("--full", action="store_true",
                         help="use the large windows/sweeps (slow)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run sweep points across N worker processes "
+                             "(default: REPRO_JOBS or serial); results merge "
+                             "in deterministic submission order, so figures "
+                             "are identical to a serial run")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also export each figure's data as CSV")
     parser.add_argument("--perf", action="store_true",
@@ -161,6 +167,10 @@ def main(argv=None) -> int:
     unknown = [e for e in ids if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}")
+    if args.perf and (args.jobs or 0) > 1:
+        print("note: --perf/--trace/--critpath observe machines in-process; "
+              "running serially (ignoring --jobs)")
+        args.jobs = 1
     session = (obs_mod.enable(trace=args.trace, causal=args.critpath)
                if args.perf else None)
     try:
@@ -168,7 +178,7 @@ def main(argv=None) -> int:
             if session is not None:
                 session.reset()
             t0 = time.time()
-            fig = run_experiment(exp_id, quick=not args.full)
+            fig = run_experiment(exp_id, quick=not args.full, jobs=args.jobs)
             dt = time.time() - t0
             print(f"=== {exp_id} ({dt:.1f}s) " + "=" * 40)
             print(render(fig))

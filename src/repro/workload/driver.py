@@ -14,6 +14,7 @@ closure (e.g. alternating enqueue/dequeue with thread-unique values).
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
@@ -68,6 +69,8 @@ def run_workload(
     the string ``"current"`` selects the combiner active at the end of
     warm-up (the fixed-combiner methodology of the paper's footnote 4).
     """
+    host_t0 = time.perf_counter()
+    host_ev0 = machine.sim.events_processed
     rng = np.random.default_rng(spec.seed)
     think_unit = machine.cfg.work_cycles_per_iteration
     n = len(ctxs)
@@ -226,5 +229,10 @@ def run_workload(
             result.extra["obs.hottest_line"] = float(hot_line)
             result.extra["obs.hottest_line_stall_cycles"] = float(
                 hot.get("stall_cycles", 0))
+
+    # host-perf provenance (wall time / engine event rate); see the
+    # RunResult field docs -- never feeds back into simulated results
+    result.host_wall_seconds = time.perf_counter() - host_t0
+    result.host_events_processed = machine.sim.events_processed - host_ev0
 
     return result

@@ -57,6 +57,21 @@ class RunResult:
     failovers: int = 0
     takeovers: int = 0
 
+    #: host-side cost of producing this point (wall-clock seconds and
+    #: simulator events over the whole run, warm-up included).  Pure
+    #: provenance for the host-perf trend in BENCH_*.json -- simulated
+    #: results never depend on these, and they are excluded from
+    #: determinism fingerprints.
+    host_wall_seconds: float = 0.0
+    host_events_processed: int = 0
+
+    @property
+    def host_events_per_sec(self) -> float:
+        """Simulator events per host second (engine speed, not a result)."""
+        if self.host_wall_seconds <= 0:
+            return 0.0
+        return self.host_events_processed / self.host_wall_seconds
+
     @property
     def throughput_mops(self) -> float:
         """Throughput in Mops/s at the machine clock (the paper's y-axis)."""

@@ -1,0 +1,53 @@
+"""Lint: the simulated world must not read host time or host randomness.
+
+Determinism (same seed => bit-identical FigureData) is what makes the
+parallel sweep runner, the golden fingerprints, and the benchmark
+regression gate all sound.  It survives only as long as nothing inside
+the simulator core (``repro.sim``) or the machine model (``repro.mem``)
+consults the host: ``time`` would leak wall-clock into cycle
+accounting, ``random`` would leak unseeded host entropy into model
+decisions.  This test walks the ASTs of both packages and fails on any
+import of either module.  (Host timing for *reporting* lives outside
+the model, in ``repro.workload.driver``.)
+"""
+
+import ast
+import pathlib
+
+import repro.mem
+import repro.sim
+
+FORBIDDEN = {"time", "random"}
+
+
+def _package_sources(pkg):
+    root = pathlib.Path(pkg.__file__).parent
+    files = sorted(root.rglob("*.py"))
+    assert files, f"no sources found under {root}"
+    return files
+
+
+def _forbidden_imports(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in FORBIDDEN:
+                    hits.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in FORBIDDEN:
+                hits.append((node.lineno, node.module))
+    return hits
+
+
+def test_sim_and_mem_never_import_time_or_random():
+    offenders = []
+    for pkg in (repro.sim, repro.mem):
+        for path in _package_sources(pkg):
+            for lineno, name in _forbidden_imports(path):
+                offenders.append(f"{path}:{lineno}: imports {name}")
+    assert not offenders, (
+        "host time/randomness leaked into the simulated world:\n  "
+        + "\n  ".join(offenders)
+    )

@@ -515,3 +515,58 @@ def test_waittimer_does_not_fire_after_disarm():
     sim.spawn(trigger())
     sim.run()
     assert out == [("got", "x", 30)]
+
+
+# -- yielded-effect coercion (the old dead isinstance(effect, int) branch) --
+# Non-plain-int delays now go through operator.index: bools and numpy
+# integer scalars are real delays, floats and arbitrary objects raise.
+
+def test_yield_bool_true_is_one_cycle_sleep():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield True
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [1]
+
+
+def test_yield_numpy_int_is_a_delay():
+    np = pytest.importorskip("numpy")
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield np.int64(3)
+        seen.append(sim.now)
+        yield np.int32(0)  # zero-delay resume, same cycle
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [3, 3]
+
+
+def test_yield_float_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 1.5
+
+    sim.spawn(proc())
+    with pytest.raises(TypeError, match="unsupported effect"):
+        sim.run()
+
+
+def test_yield_arbitrary_object_raises():
+    sim = Simulator()
+
+    def proc():
+        yield object()
+
+    sim.spawn(proc())
+    with pytest.raises(TypeError, match="unsupported effect"):
+        sim.run()
