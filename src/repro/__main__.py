@@ -5,6 +5,7 @@ Subcommands:
 * ``info``        -- package, machine profiles, experiment registry
 * ``quickstart``  -- the counter shootout at one concurrency level
 * ``experiments`` -- forwarded to ``repro.experiments`` (all flags work)
+* ``explore``     -- forwarded to ``repro.explore.cli`` (schedule search)
 """
 
 from __future__ import annotations
@@ -54,10 +55,13 @@ def cmd_quickstart(args) -> int:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # forward `experiments` wholesale so its own flags keep working
+    # forward `experiments` / `explore` wholesale so their flags keep working
     if argv and argv[0] == "experiments":
         from repro.experiments.registry import main as exp_main
         return exp_main(argv[1:])
+    if argv and argv[0] == "explore":
+        from repro.explore.cli import main as explore_main
+        return explore_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="cmd")
@@ -66,6 +70,8 @@ def main(argv=None) -> int:
     q.add_argument("threads", nargs="?", type=int, default=20)
     sub.add_parser("experiments", help="run figure reproductions "
                                        "(see python -m repro.experiments -h)")
+    sub.add_parser("explore", help="adversarial schedule search "
+                                   "(see python -m repro explore -h)")
     args = parser.parse_args(argv)
     if args.cmd == "info" or args.cmd is None:
         return cmd_info(args)

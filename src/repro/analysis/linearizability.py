@@ -29,6 +29,9 @@ __all__ = [
     "CounterSpec",
     "QueueSpec",
     "StackSpec",
+    "LCRQSpec",
+    "ElimStackSpec",
+    "PoolSpec",
     "check_linearizable",
 ]
 
@@ -137,6 +140,85 @@ class StackSpec(SequentialSpec):
                 return state[:-1]
             return None
         raise ValueError(f"unknown stack op {op.op!r}")
+
+
+class LCRQSpec(QueueSpec):
+    """Sequential spec of the LCRQ (Morrison & Afek): a FIFO queue.
+
+    The LCRQ's ring-buffer mechanics (CLOSED bit, segment hopping) are
+    implementation detail; its abstract object is exactly the FIFO queue,
+    restricted to the 32-bit values the ring can carry.  The restriction
+    is checked so a history recorded against the wrong object (64-bit
+    values that the LCRQ would have truncated) fails loudly instead of
+    passing as a coincidence.
+    """
+
+    MAX_VALUE = (1 << 32) - 1
+
+    def apply(self, state: Tuple, op: Operation) -> Optional[Tuple]:
+        if op.op == "enq" and not (0 <= op.arg <= self.MAX_VALUE):
+            raise ValueError(
+                f"LCRQ history carries non-32-bit value {op.arg!r}")
+        return super().apply(state, op)
+
+
+class ElimStackSpec(StackSpec):
+    """Sequential spec of the elimination-backoff stack: a LIFO stack.
+
+    Elimination pairs a concurrent push with a concurrent pop *without
+    touching the backing stack* -- which is linearizable precisely
+    because the paired ops overlap in real time, so they may linearize
+    adjacently (push immediately followed by its pop).  The plain
+    :class:`StackSpec` step function already admits exactly those
+    witnesses; the subclass exists to name the object and to accept the
+    ``put``/``get`` aliases the elimination front-end reports for
+    eliminated pairs in some harnesses.
+    """
+
+    _ALIAS = {"put": "push", "get": "pop"}
+
+    def apply(self, state: Tuple, op: Operation) -> Optional[Tuple]:
+        name = self._ALIAS.get(op.op)
+        if name is not None:
+            op = Operation(op.tid, name, op.arg, op.retval,
+                           op.invoke_t, op.response_t)
+        return super().apply(state, op)
+
+
+class PoolSpec(SequentialSpec):
+    """Unordered pool (bag): "put" inserts, "get" removes *some* element.
+
+    The weakest of the container specs -- a get may return any element
+    currently in the pool, and EMPTY only when the pool is empty.  This
+    is the right oracle for workloads that use a stack or queue purely as
+    a buffer of work items (the paper's pool benchmarks): any container
+    that conserves elements and never invents or loses one satisfies it.
+    State is a sorted tuple (a canonical hashable multiset) so the
+    memoized DFS can dedup states that differ only in insertion order.
+
+    "push"/"pop" and "enq"/"deq" are accepted as aliases of "put"/"get"
+    so the same recorded history can be checked against both its strict
+    spec and the pool spec.
+    """
+
+    _PUTS = frozenset(("put", "push", "enq"))
+    _GETS = frozenset(("get", "pop", "deq"))
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(self, state: Tuple, op: Operation) -> Optional[Tuple]:
+        if op.op in self._PUTS:
+            return tuple(sorted(state + (op.arg,)))
+        if op.op in self._GETS:
+            if op.retval == EMPTY:
+                return state if not state else None
+            if op.retval in state:
+                out = list(state)
+                out.remove(op.retval)
+                return tuple(out)
+            return None
+        raise ValueError(f"unknown pool op {op.op!r}")
 
 
 def check_linearizable(history: History, spec: SequentialSpec,

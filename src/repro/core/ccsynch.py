@@ -149,6 +149,10 @@ class CCSynch(SyncPrimitive):
         yield from ctx.store(mynode + _COMPLETED, 0)
         yield from ctx.store(mynode + _NEXT, 0)
         cur = yield from ctx.swap(self.tail_addr, mynode)
+        if ctx.sim.policy is not None:
+            # exploration seam: between the SWAP and the link store the
+            # node is enqueued but unpublished (combiners see next == 0)
+            yield from ctx.sched_point("ccsynch.publish")
         # 2. write our request into cur and publish it.  All three stores
         # hit the same cache line, so the merging store buffer keeps them
         # ordered and no fence is needed before the link becomes visible.
@@ -202,6 +206,9 @@ class CCSynch(SyncPrimitive):
                          client=self._node_owner.get(tmp),
                          prim=self.name, start=svc_start)
             tmp = nxt
+        if ctx.sim.policy is not None:
+            # exploration seam: combiner handover window
+            yield from ctx.sched_point("ccsynch.handoff")
         # handover: release whoever owns the node we stopped at
         yield from ctx.store(tmp + _WAIT, 0)
         self.record_session(count)

@@ -86,6 +86,10 @@ class FlatCombining(SyncPrimitive):
         yield from ctx.store(rec + _DONE, 0)
         yield from ctx.store(rec + _ACTIVE, 1)
         while True:
+            if ctx.sim.policy is not None:
+                # exploration seam: the done-check / lock-try alternation
+                # races the current combiner's scan
+                yield from ctx.sched_point("flatcombining.poll")
             # is someone already combining?  spin a bit on our flag
             done = yield from ctx.load(rec + _DONE)
             if done:
@@ -96,6 +100,9 @@ class FlatCombining(SyncPrimitive):
                 if ok:
                     yield from self._combine(ctx)
                     yield from ctx.fence()
+                    if ctx.sim.policy is not None:
+                        # exploration seam: combiner-lock release window
+                        yield from ctx.sched_point("flatcombining.unlock")
                     yield from ctx.store(self.lock_addr, 0)
                     # our own request was served during our combine
                     break

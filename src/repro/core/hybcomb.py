@@ -257,6 +257,10 @@ class HybComb(SyncPrimitive):
         first_timeout_at: Optional[int] = None
         # Lines 8-21
         while True:
+            if ctx.sim.policy is not None:
+                # exploration seam: the lrc read below races registration
+                # CASes and combiner handoff
+                yield from ctx.sched_point("hybcomb.register")
             # Line 9: last_reg <- last_registered_combiner
             last_reg = yield from ctx.load(self.lrc_addr)
             # Line 11: try to register with the last registered combiner
@@ -357,6 +361,10 @@ class HybComb(SyncPrimitive):
         if obs is not None:
             obs.emit("server.done", core=ctx.core.cid, client=tid,
                      prim=self.name, start=svc_start)
+        if ctx.sim.policy is not None:
+            # exploration seam: mid-section preemption here is what a
+            # stale-lease takeover races against
+            yield from ctx.sched_point("hybcomb.combine")
         # Lines 25-28: drain the message queue while it is not empty
         ops_completed = 0
         while True:
@@ -413,6 +421,10 @@ class HybComb(SyncPrimitive):
         if self.machine.cfg.debug_checks:
             self._active_combiners.discard(tid)
         self.record_session(1 + ops_completed)
+        if ctx.sim.policy is not None:
+            # exploration seam: the node exchange above is published to the
+            # successor only by the store below (combiner handoff window)
+            yield from ctx.sched_point("hybcomb.handoff")
         yield from ctx.store(old_node + _DONE, 1)        # line 42
         if first_timeout_at is not None:
             self.recoveries.append((tid, self.machine.now - first_timeout_at))

@@ -179,6 +179,10 @@ class MPServer(SyncPrimitive):
     def _server_loop(self, ctx: ThreadCtx) -> Generator[Any, Any, None]:
         execute = self.optable.execute
         while True:
+            if ctx.sim.policy is not None:
+                # exploration seam: server poll -- a delay here backs up
+                # client requests in the network
+                yield from ctx.sched_point("mp_server.poll")
             sender, opcode, arg = yield from ctx.receive(REQUEST_WORDS)
             svc_start = ctx.sim.now
             obs = ctx.sim.obs
@@ -197,6 +201,10 @@ class MPServer(SyncPrimitive):
         proc = self.machine.sim.current
         execute = self.optable.execute
         while True:
+            if ctx.sim.policy is not None:
+                # exploration seam: server poll (outside the crash shield,
+                # so a policy delay can widen the timeout/failover races)
+                yield from ctx.sched_point("mp_server.poll")
             sender, seq, opcode, arg = yield from ctx.receive(FT_REQUEST_WORDS)
             svc_start = ctx.sim.now
             obs = ctx.sim.obs

@@ -92,6 +92,10 @@ class ShmServer(SyncPrimitive):
         order = self._client_order
         n = len(order)
         while not self._stopped:
+            if ctx.sim.policy is not None:
+                # exploration seam: delay the scan so requests pile up and
+                # get served in scan order rather than arrival order
+                yield from ctx.sched_point("shm_server.scan")
             for i, tid in enumerate(order):
                 ch = self._channels[tid]
                 svc_start = ctx.sim.now

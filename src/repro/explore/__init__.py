@@ -1,0 +1,79 @@
+"""Schedule exploration: adversarial interleaving search with
+linearizability oracles and replayable repro bundles.
+
+The simulator is deterministic by construction, which makes every test
+run reproducible -- and means plain testing only ever exercises *one*
+interleaving per configuration.  This package searches the
+neighbourhood: three controlled-nondeterminism seams (same-cycle
+tie-breaks, UDN delivery delay within per-stream FIFO bounds, forced
+preemption at annotated algorithm steps) are driven by pluggable
+:class:`~repro.explore.policy.SchedulePolicy` objects, every decision is
+recorded, and failing runs ship as self-contained JSON bundles that
+replay the exact interleaving -- then shrink to the few forced choices
+that constitute the bug.
+
+With no policy installed (``sim.policy is None``, the default) every
+seam is inert and the simulator's schedule is bit-identical to before
+this package existed; the golden fingerprint tests pin that down.
+
+Entry points: ``python -m repro explore`` (CLI), :func:`explore`
+(library), :func:`run_scenario` (single runs), :mod:`~repro.explore.bundle`
+(replay/shrink).  See DESIGN.md §12.
+"""
+
+from repro.explore.bundle import (
+    ReproBundle,
+    bundle_from_finding,
+    load_bundle,
+    replay,
+    save_bundle,
+    shrink,
+    shrink_finding,
+    verify_bundle,
+)
+from repro.explore.harness import MODES, ExploreReport, Finding, explore
+from repro.explore.policy import (
+    BoundedPreemptionPolicy,
+    PCTPolicy,
+    RandomWalkPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+)
+from repro.explore.scenarios import (
+    FULL_MATRIX,
+    MUTATION_SCENARIO,
+    SMALL_MATRIX,
+    Outcome,
+    Scenario,
+    matrix,
+    run_scenario,
+    scenario_by_id,
+)
+
+__all__ = [
+    "MODES",
+    "FULL_MATRIX",
+    "MUTATION_SCENARIO",
+    "SMALL_MATRIX",
+    "BoundedPreemptionPolicy",
+    "ExploreReport",
+    "Finding",
+    "Outcome",
+    "PCTPolicy",
+    "RandomWalkPolicy",
+    "ReplayPolicy",
+    "ReproBundle",
+    "Scenario",
+    "SchedulePolicy",
+    "bundle_from_finding",
+    "explore",
+    "load_bundle",
+    "matrix",
+    "replay",
+    "run_scenario",
+    "save_bundle",
+    "scenario_by_id",
+    "shrink",
+    "shrink_finding",
+    "verify_bundle",
+]

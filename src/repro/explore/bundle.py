@@ -1,0 +1,226 @@
+"""Replayable repro bundles and the delta-debugging shrinker.
+
+A bundle is one JSON file that pins everything a failing interleaving
+needs to come back to life on another checkout:
+
+* the scenario id (resolved through the registry, so the run recipe --
+  machine, algorithm, object, scripts, fault plan -- is reconstructed
+  from code, not deserialized);
+* the machine-config fingerprint it was found under (refuse to replay
+  against a different cost model: same trace + different costs is a
+  different execution, and "it no longer reproduces" would be
+  meaningless);
+* the full decision trace, which *is* the schedule: the simulator is
+  deterministic, so driving a fresh run with
+  :class:`~repro.explore.policy.ReplayPolicy` over the trace reproduces
+  the identical execution -- same history, same failure;
+* provenance (search mode, policy parameters, failure summary) for the
+  human reading the bundle.
+
+:func:`shrink` minimizes a failing trace in two phases, re-running the
+scenario as its oracle each step: first the shortest still-failing
+prefix (binary search; decisions past the trace end fall back to the
+default schedule, so truncation == zeroing the suffix), then ddmin
+(Zeller & Hildebrandt) over the remaining *forced* (non-default)
+decisions, zeroing complements chunk-wise.  Zeroing -- rather than
+deleting -- entries keeps the per-kind decision queues aligned with the
+decision points the replay run actually reaches.  The result is
+typically a handful of forced choices: the ones that *are* the bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.explore.harness import Finding
+from repro.explore.policy import ReplayPolicy
+from repro.explore.scenarios import Outcome, run_scenario, scenario_by_id
+from repro.machine import tile_gx
+
+__all__ = ["ReproBundle", "bundle_from_finding", "save_bundle", "load_bundle",
+           "replay", "verify_bundle", "shrink", "shrink_finding"]
+
+_FORMAT = 1
+
+
+@dataclass
+class ReproBundle:
+    """A self-contained, replayable description of one failing run."""
+
+    scenario: str
+    trace: List[Tuple[str, int]]
+    kind: str
+    detail: str
+    config_fingerprint: str
+    policy: Dict = field(default_factory=dict)
+    format: int = _FORMAT
+
+    @property
+    def forced_choices(self) -> int:
+        return sum(1 for _k, v in self.trace if v)
+
+
+def bundle_from_finding(finding: Finding) -> ReproBundle:
+    return ReproBundle(
+        scenario=finding.scenario,
+        trace=[(k, v) for k, v in finding.trace],
+        kind=finding.kind,
+        detail=finding.detail,
+        config_fingerprint=tile_gx().fingerprint(),
+        policy=dict(finding.policy),
+    )
+
+
+def save_bundle(bundle: ReproBundle, path: str) -> str:
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(asdict(bundle), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_bundle(path: str) -> ReproBundle:
+    with open(path) as f:
+        raw = json.load(f)
+    if raw.get("format") != _FORMAT:
+        raise ValueError(f"unsupported bundle format {raw.get('format')!r}")
+    raw["trace"] = [(str(k), int(v)) for k, v in raw["trace"]]
+    return ReproBundle(**raw)
+
+
+def replay(bundle: ReproBundle) -> Outcome:
+    """Re-run the bundle's scenario under its recorded schedule."""
+    fp = tile_gx().fingerprint()
+    if bundle.config_fingerprint != fp:
+        raise ValueError(
+            f"bundle was recorded under machine config "
+            f"{bundle.config_fingerprint}, this checkout builds {fp}; "
+            f"the trace would not drive the same execution")
+    scn = scenario_by_id(bundle.scenario)
+    return run_scenario(scn, ReplayPolicy(bundle.trace))
+
+
+def verify_bundle(bundle: ReproBundle, *, times: int = 2) -> Outcome:
+    """Replay ``times`` times; every run must fail identically.
+
+    Returns the (common) failing outcome; raises ``AssertionError`` if
+    any replay passes or two replays disagree -- either would mean the
+    run recipe picked up nondeterminism, which is a harness bug worth
+    failing loudly over.
+    """
+    outcomes = [replay(bundle) for _ in range(times)]
+    first = outcomes[0]
+    for out in outcomes:
+        assert not out.ok, "bundle replay did not reproduce the failure"
+        assert (out.kind, out.detail, out.history) == \
+            (first.kind, first.detail, first.history), \
+            "two replays of the same bundle diverged"
+    return first
+
+
+def _zero_except(trace: List[Tuple[str, int]], keep: set) -> List[Tuple[str, int]]:
+    return [(k, v if i in keep else 0) for i, (k, v) in enumerate(trace)]
+
+
+def _trim(trace: List[Tuple[str, int]]) -> List[Tuple[str, int]]:
+    """Drop the trailing run of default decisions (replay pads with 0)."""
+    last = max((i for i, (_k, v) in enumerate(trace) if v), default=-1)
+    return trace[:last + 1]
+
+
+def shrink(bundle: ReproBundle, *, max_runs: int = 400,
+           budget_seconds: Optional[float] = None) -> ReproBundle:
+    """Minimize a failing trace; returns a new, smaller bundle.
+
+    The shrunk bundle fails with the *same kind* of verdict as the
+    original (a shrink step that turns a linearizability violation into
+    a crash is rejected -- it would be minimizing a different bug).
+    Bounded by ``max_runs`` scenario executions and optionally wall
+    time; on exhaustion the best trace so far is returned, which is
+    always still-failing.
+    """
+    scn = scenario_by_id(bundle.scenario)
+    runs = 0
+    t0 = time.monotonic()
+
+    def out_of_budget() -> bool:
+        if runs >= max_runs:
+            return True
+        return (budget_seconds is not None
+                and time.monotonic() - t0 >= budget_seconds)
+
+    # a candidate schedule can be pathologically slower than the failing
+    # run (retry storms under half-zeroed delays); cap each oracle run at
+    # a generous multiple of the original run's event count so one bad
+    # candidate cannot eat the whole shrink budget (capped runs come back
+    # as "exception" outcomes and simply count as not-reproducing)
+    event_cap = [5_000_000]
+
+    def fails(trace: List[Tuple[str, int]]) -> bool:
+        nonlocal runs
+        runs += 1
+        out = run_scenario(scn, ReplayPolicy(trace), max_events=event_cap[0])
+        return (not out.ok) and out.kind == bundle.kind
+
+    trace = list(bundle.trace)
+    runs -= 1  # the baseline run below establishes the cap, free of charge
+    out0 = run_scenario(scn, ReplayPolicy(trace))
+    if out0.ok or out0.kind != bundle.kind:
+        raise AssertionError("bundle does not reproduce; nothing to shrink")
+    event_cap[0] = max(50_000, 20 * out0.events)
+
+    # phase 1: shortest still-failing prefix (binary search; the
+    # predicate is usually monotone in the prefix length -- forcing
+    # *fewer* trailing decisions keeps more of the default schedule --
+    # and the final verification guards the cases where it is not)
+    lo, hi = 0, len(trace)
+    while lo < hi and not out_of_budget():
+        mid = (lo + hi) // 2
+        if fails(trace[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    if hi < len(trace) and fails(trace[:hi]):
+        trace = trace[:hi]
+
+    # phase 2: ddmin over the forced decisions, zeroing complements
+    keep = [i for i, (_k, v) in enumerate(trace) if v]
+    n = 2
+    while len(keep) >= 2 and not out_of_budget():
+        chunk = max(1, len(keep) // n)
+        chunks = [keep[c:c + chunk] for c in range(0, len(keep), chunk)]
+        for c in chunks:
+            if out_of_budget():
+                break
+            cand = [i for i in keep if i not in c]
+            if fails(_zero_except(trace, set(cand))):
+                keep = cand
+                n = max(2, n - 1)
+                break
+        else:
+            if n >= len(keep):
+                break
+            n = min(len(keep), n * 2)
+
+    trace = _trim(_zero_except(trace, set(keep)))
+    out = run_scenario(scn, ReplayPolicy(trace))
+    assert not out.ok and out.kind == bundle.kind, \
+        "shrinker invariant: the minimized trace must still fail"
+    meta = dict(bundle.policy)
+    meta["shrunk"] = {"runs": runs,
+                      "from_forced": bundle.forced_choices,
+                      "from_len": len(bundle.trace)}
+    return ReproBundle(scenario=bundle.scenario, trace=trace, kind=out.kind,
+                       detail=out.detail,
+                       config_fingerprint=bundle.config_fingerprint,
+                       policy=meta)
+
+
+def shrink_finding(finding: Finding, **kw) -> ReproBundle:
+    return shrink(bundle_from_finding(finding), **kw)

@@ -1,0 +1,184 @@
+"""``python -m repro explore`` -- the schedule-exploration command line.
+
+Actions (``run`` is implied when flags come first):
+
+* ``run``      -- budgeted search over a scenario matrix; failing runs
+  are verified (replayed twice), optionally shrunk, and written to the
+  output directory as repro bundles.  Exit code 1 iff anything failed.
+* ``replay``   -- bring a saved bundle back to life: re-run its exact
+  interleaving twice and report the (identical) verdict.
+* ``selftest`` -- the mutation self-test: explore the seeded-bug copy
+  of HYBCOMB and succeed only if the bug is found within the budget.
+
+Examples::
+
+    python -m repro explore --budget 60 --matrix small
+    python -m repro explore --budget 600 --matrix full --out bundles/
+    python -m repro explore replay bundles/hybcomb-buggy_counter-3.json
+    python -m repro explore selftest --budget 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.explore.bundle import (
+    bundle_from_finding,
+    load_bundle,
+    replay,
+    save_bundle,
+    shrink,
+    verify_bundle,
+)
+from repro.explore.harness import MODES, explore
+from repro.explore.scenarios import FULL_MATRIX, MUTATION_SCENARIO, matrix, scenario_by_id
+
+__all__ = ["main"]
+
+_ACTIONS = ("run", "replay", "selftest")
+
+
+def _add_budget_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--budget", type=float, default=60.0,
+                   help="wall-clock budget in seconds (default 60)")
+    p.add_argument("--max-schedules", type=int, default=None,
+                   help="also stop after this many schedules")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed for the seeded search modes")
+    p.add_argument("--modes", default=",".join(MODES),
+                   help=f"comma-separated subset of {','.join(MODES)}")
+
+
+def _cmd_run(args) -> int:
+    if args.scenario:
+        scenarios = [scenario_by_id(s) for s in args.scenario]
+    else:
+        scenarios = matrix(args.matrix)
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    report = explore(scenarios, budget_seconds=args.budget,
+                     max_schedules=args.max_schedules, seed=args.seed,
+                     modes=modes, stop_after=args.stop_after,
+                     progress=lambda line: print(f"  FAIL {line}"))
+    print(f"explored {report.schedules_run} schedules over "
+          f"{len(scenarios)} scenarios in {report.wall_seconds:.1f}s "
+          f"({', '.join(f'{m}: {n}' for m, n in report.per_mode.items())})")
+    if report.ok:
+        print("no failing interleaving found")
+        return 0
+
+    os.makedirs(args.out, exist_ok=True)
+    per_scenario: dict = {}
+    written: List[str] = []
+    for finding in report.findings:
+        key = (finding.scenario, finding.kind)
+        per_scenario[key] = per_scenario.get(key, 0) + 1
+        if per_scenario[key] > args.max_bundles:
+            continue
+        bundle = bundle_from_finding(finding)
+        verify_bundle(bundle)
+        if args.shrink:
+            bundle = shrink(bundle)
+        stem = finding.scenario.replace("/", "_").replace("@", "_")
+        path = os.path.join(args.out, f"{stem}-{finding.schedule_index}.json")
+        save_bundle(bundle, path)
+        written.append(path)
+        print(f"  bundle: {path}  [{bundle.kind}] "
+              f"{bundle.forced_choices} forced choices")
+    summary = {
+        "schedules_run": report.schedules_run,
+        "wall_seconds": report.wall_seconds,
+        "per_mode": report.per_mode,
+        "findings": [
+            {"scenario": f.scenario, "kind": f.kind, "detail": f.detail,
+             "mode": f.mode, "schedule_index": f.schedule_index}
+            for f in report.findings
+        ],
+        "bundles": written,
+    }
+    with open(os.path.join(args.out, "report.json"), "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"{len(report.findings)} failing runs; {len(written)} bundles + "
+          f"report.json in {args.out}/")
+    return 1
+
+
+def _cmd_replay(args) -> int:
+    bundle = load_bundle(args.bundle)
+    print(f"replaying {args.bundle}: scenario {bundle.scenario}, "
+          f"{bundle.forced_choices} forced choices, recorded verdict "
+          f"[{bundle.kind}] {bundle.detail}")
+    try:
+        out = verify_bundle(bundle, times=2)
+    except AssertionError as exc:
+        print(f"NOT reproduced: {exc}")
+        return 2
+    print(f"reproduced identically twice: [{out.kind}] {out.detail}")
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    print("mutation self-test: exploring the seeded-bug HYBCOMB copy "
+          f"({MUTATION_SCENARIO.sid}) ...")
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    report = explore([MUTATION_SCENARIO], budget_seconds=args.budget,
+                     max_schedules=args.max_schedules, seed=args.seed,
+                     modes=modes, stop_after=1)
+    if report.ok:
+        print(f"FAILED: seeded bug not found in {report.schedules_run} "
+              f"schedules / {report.wall_seconds:.1f}s -- the explorer "
+              f"has lost its teeth")
+        return 1
+    f = report.findings[0]
+    bundle = bundle_from_finding(f)
+    verify_bundle(bundle)
+    print(f"found after {f.schedule_index + 1} schedules via {f.mode}: "
+          f"[{f.kind}] {f.detail}")
+    print("bundle replays the identical failure twice -- self-test passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in _ACTIONS:
+        argv = ["run"] + argv
+
+    parser = argparse.ArgumentParser(prog="python -m repro explore",
+                                     description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run_p = sub.add_parser("run", help="budgeted schedule search")
+    _add_budget_flags(run_p)
+    run_p.add_argument("--matrix", choices=("small", "full"), default="small")
+    run_p.add_argument("--scenario", action="append", default=None,
+                       metavar="SID", help="explore only this scenario id "
+                       "(repeatable; overrides --matrix)")
+    run_p.add_argument("--out", default="explore-out",
+                       help="directory for repro bundles (default explore-out)")
+    run_p.add_argument("--stop-after", type=int, default=None,
+                       help="stop once this many failures accumulated")
+    run_p.add_argument("--max-bundles", type=int, default=2,
+                       help="bundles kept per (scenario, kind) (default 2)")
+    run_p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                       help="save raw traces without delta-debugging them")
+
+    rep_p = sub.add_parser("replay", help="replay a saved repro bundle")
+    rep_p.add_argument("bundle", help="path to a bundle .json")
+
+    self_p = sub.add_parser("selftest", help="seeded-bug detection check")
+    _add_budget_flags(self_p)
+
+    args = parser.parse_args(argv)
+    if args.action == "run":
+        return _cmd_run(args)
+    if args.action == "replay":
+        return _cmd_replay(args)
+    return _cmd_selftest(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""The budgeted exploration loop: schedules in, findings out.
+
+:func:`explore` round-robins over a scenario matrix, driving each run
+with a policy drawn from the enabled search modes:
+
+* ``random`` -- :class:`~repro.explore.policy.RandomWalkPolicy` with an
+  incrementing seed (schedule fuzzing; the workhorse);
+* ``pct`` -- :class:`~repro.explore.policy.PCTPolicy` priority
+  schedules (good at bugs needing few ordering constraints);
+* ``systematic`` -- iterative preemption bounding over the scenario's
+  annotated points (:class:`~repro.explore.policy.BoundedPreemptionPolicy`):
+  every single forced preemption first, then every pair, in a fixed
+  enumeration order.  Exhaustive within its bound, so a clean pass is a
+  (bounded) guarantee rather than a statistical one.
+
+The budget is wall-clock seconds and/or a schedule count -- whichever
+runs out first.  Wall-clock measurement happens *on the host*, which is
+fine here: exploration is a meta-level testing tool, not part of the
+simulated machine (the determinism rule protects ``repro.sim`` /
+``repro.mem``, not this package; replays are made deterministic by the
+recorded trace, not by when the search stopped).
+
+Every failing run is returned as a :class:`Finding` carrying the full
+decision trace, which :mod:`repro.explore.bundle` turns into a
+replayable repro bundle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.explore.policy import (
+    BoundedPreemptionPolicy,
+    PCTPolicy,
+    RandomWalkPolicy,
+    SchedulePolicy,
+)
+from repro.explore.scenarios import Outcome, Scenario, run_scenario
+
+__all__ = ["Finding", "ExploreReport", "explore", "MODES"]
+
+MODES = ("random", "pct", "systematic")
+
+#: preemption menu for the systematic mode (cycles); spans "longer than
+#: a combining session" and "longer than any lease/timeout in the matrix"
+_SYSTEMATIC_DELAYS = (700, 2500)
+
+
+@dataclass
+class Finding:
+    """One failing explored run, with everything needed to reproduce it."""
+
+    scenario: str                  #: Scenario.sid
+    schedule_index: int            #: which explored schedule found it
+    mode: str                      #: search mode that produced the policy
+    policy: Dict                   #: policy provenance (describe())
+    kind: str                      #: "linearizability" | "invariant" | "exception"
+    detail: str
+    forced_choices: int
+    trace: List[Tuple[str, int]]
+    history: List[Tuple]
+
+
+@dataclass
+class ExploreReport:
+    """Summary of one exploration session."""
+
+    scenarios: List[str]
+    schedules_run: int = 0
+    wall_seconds: float = 0.0
+    per_mode: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _systematic_policies(scn: Scenario) -> Iterator[Tuple[SchedulePolicy, Dict]]:
+    """Iterative preemption bounding: enumerate 1-preemption schedules,
+    then 2-preemption schedules, over the points the default run visits.
+
+    The point count is probed with a decision-counting null policy (its
+    choices are all "keep default", so the probe run is the unmodified
+    schedule).  Forcing a preemption can *create* points past the probed
+    horizon (new retries); those are reachable by the later entries
+    anyway, so the enumeration stays a bounded under-approximation --
+    which is the deal systematic modes always make.
+    """
+    probe = SchedulePolicy()
+    run_scenario(scn, probe)
+    npoints = probe.points["P"]
+    for d in _SYSTEMATIC_DELAYS:
+        for i in range(npoints):
+            yield BoundedPreemptionPolicy({i: d}), {"bound": 1}
+    for d1 in _SYSTEMATIC_DELAYS:
+        for d2 in _SYSTEMATIC_DELAYS:
+            for i in range(npoints):
+                for j in range(npoints):
+                    if i != j:
+                        yield BoundedPreemptionPolicy({i: d1, j: d2}), {"bound": 2}
+
+
+def _policy_stream(scn: Scenario, mode: str, base_seed: int,
+                   ) -> Iterator[Tuple[SchedulePolicy, Dict]]:
+    if mode == "random":
+        k = 0
+        while True:
+            yield RandomWalkPolicy(seed=base_seed + k), {}
+            k += 1
+    elif mode == "pct":
+        k = 0
+        while True:
+            yield PCTPolicy(seed=base_seed + k), {}
+            k += 1
+    elif mode == "systematic":
+        yield from _systematic_policies(scn)
+    else:
+        raise ValueError(f"unknown mode {mode!r} (expected one of {MODES})")
+
+
+def explore(scenarios: Sequence[Scenario], *,
+            budget_seconds: Optional[float] = None,
+            max_schedules: Optional[int] = None,
+            seed: int = 0,
+            modes: Sequence[str] = MODES,
+            stop_after: Optional[int] = None,
+            max_events: int = 5_000_000,
+            progress: Optional[Callable[[str], None]] = None) -> ExploreReport:
+    """Search the schedule space of ``scenarios`` within a budget.
+
+    ``budget_seconds`` / ``max_schedules``: stop when either runs out
+    (at least one must be given).  ``stop_after``: stop early once that
+    many findings have accumulated (e.g. 1 for the mutation self-test).
+    ``seed`` offsets every seeded policy, so two sessions with different
+    seeds explore different schedules.  ``max_events`` caps each run's
+    engine-event count; runs that blow it surface as "exception"
+    findings, so keep it generous (default 5M, ~50x a normal matrix
+    run) unless the scenario under search is known-broken and runaway
+    retry storms are expected (the mutation self-test caps harder just
+    to stay fast).
+
+    The loop interleaves scenarios and modes round-robin so a short
+    budget still spreads over the whole matrix instead of exhausting it
+    on the first scenario.
+    """
+    if budget_seconds is None and max_schedules is None:
+        raise ValueError("give a wall-time or schedule-count budget")
+    modes = tuple(modes)
+    for m in modes:
+        if m not in MODES:
+            raise ValueError(f"unknown mode {m!r} (expected one of {MODES})")
+
+    report = ExploreReport(scenarios=[s.sid for s in scenarios])
+    report.per_mode = {m: 0 for m in modes}
+    streams: Dict[Tuple[str, str], Iterator] = {}
+    t0 = time.monotonic()
+    exhausted: set = set()
+    i = 0
+    while True:
+        if budget_seconds is not None and time.monotonic() - t0 >= budget_seconds:
+            break
+        if max_schedules is not None and report.schedules_run >= max_schedules:
+            break
+        if len(exhausted) == len(scenarios) * len(modes):
+            break  # systematic-only sessions can finish the enumeration
+        scn = scenarios[i % len(scenarios)]
+        mode = modes[(i // len(scenarios)) % len(modes)]
+        i += 1
+        key = (scn.sid, mode)
+        if key in exhausted:
+            continue
+        stream = streams.get(key)
+        if stream is None:
+            stream = streams[key] = _policy_stream(scn, mode, seed)
+        try:
+            policy, extra = next(stream)
+        except StopIteration:
+            exhausted.add(key)
+            continue
+        outcome = run_scenario(scn, policy, max_events=max_events)
+        report.schedules_run += 1
+        report.per_mode[mode] += 1
+        if not outcome.ok:
+            meta = policy.describe()
+            meta.update(extra)
+            report.findings.append(_finding(scn, report.schedules_run - 1,
+                                            mode, meta, outcome))
+            if progress is not None:
+                progress(f"[{scn.sid}] {outcome.kind}: {outcome.detail}")
+            if stop_after is not None and len(report.findings) >= stop_after:
+                break
+    report.wall_seconds = time.monotonic() - t0
+    return report
+
+
+def _finding(scn: Scenario, index: int, mode: str, meta: Dict,
+             outcome: Outcome) -> Finding:
+    return Finding(
+        scenario=scn.sid, schedule_index=index, mode=mode, policy=meta,
+        kind=outcome.kind, detail=outcome.detail,
+        forced_choices=outcome.forced_choices, trace=list(outcome.trace),
+        history=list(outcome.history),
+    )

@@ -1,0 +1,67 @@
+"""Mutation self-test: a seeded concurrency bug the explorer must catch.
+
+A schedule-exploration harness that never finds anything is
+indistinguishable from one that cannot.  This module keeps a *known
+broken* copy of HYBCOMB around as a detection fixture: an ordering bug
+of exactly the class the harness exists for, which
+
+* is invisible under the default schedule (every tier-1 test would
+  pass against it), and
+* is found by the explorer as a non-linearizable history within a
+  small budget (asserted by ``tests/test_explore_mutation.py`` and
+  checked in CI).
+
+The seeded bug -- **takeover without the ``combining_done`` re-check**:
+in real HYBCOMB's lease extension, a successor combiner waiting on its
+predecessor alternates between checking the predecessor's ``done`` word
+and its lease heartbeat, and only treats the predecessor as crashed when
+the lease is stale.  :class:`BuggyHybComb` drops the ``done`` check from
+that loop entirely: the successor waits for the lease to look stale and
+then *always* "takes over".  On a calm schedule this is only slow --
+the predecessor finishes, stops heartbeating, the lease expires, and the
+successor proceeds after the fact.  But preempt the predecessor inside
+its combining session for longer than ``lease_cycles`` (the explorer's
+``object.rmw`` / ``hybcomb.combine`` preemption points do exactly that)
+and the successor starts combining while the predecessor is alive mid
+critical section.  Two combiners interleave their fetch-and-increment
+bodies and the counter hands out duplicate tickets -- a history
+:func:`~repro.analysis.linearizability.check_linearizable` rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.hybcomb import _THREAD_ID, HybComb
+from repro.machine.machine import ThreadCtx
+
+__all__ = ["BuggyHybComb"]
+
+
+class BuggyHybComb(HybComb):
+    """HYBCOMB with the ``combining_done`` re-check dropped (seeded bug).
+
+    Never use outside the mutation self-test.
+    """
+
+    name = "hybcomb-buggy"
+
+    def _await_predecessor(self, ctx: ThreadCtx, my_node: int,
+                           prev: int) -> Generator[Any, Any, None]:
+        if not self._recovery:
+            # non-lease mode is untouched: the bug lives in the takeover path
+            yield from super()._await_predecessor(ctx, my_node, prev)
+            return
+        while True:
+            # BUG: the predecessor's ``done`` word is never consulted.
+            # A stale lease alone triggers takeover, so a merely-slow
+            # (preempted) predecessor is treated as crashed while its
+            # combining session is still running.
+            stale = yield from self._lease_stale(ctx, prev)
+            if stale:
+                prev_tid = yield from ctx.load(prev + _THREAD_ID)
+                self._active_combiners.discard(prev_tid)
+                self.takeovers += 1
+                return
+            yield from self._heartbeat(ctx, my_node)
+            yield from ctx.work(self._lease_poll)

@@ -1,0 +1,283 @@
+"""Schedule policies: the decision-makers behind the exploration seams.
+
+The engine, the UDN fabric and the annotated algorithms each expose one
+narrow decision point (see DESIGN.md §12):
+
+* ``reorder_lane(entries, now)`` -- permute the same-cycle fast-lane
+  chunk the engine is about to sweep (tie-break order between process
+  resumes due at the same cycle);
+* ``udn_delay(src_node, dst_core, demux, n_words, now)`` -- extra
+  transit cycles for one message (the fabric clamps the resulting
+  arrival so per-stream FIFO is preserved);
+* ``preempt(tag, tid, now)`` -- cycles of forced preemption at an
+  annotated algorithm step (``ThreadCtx.sched_point``).
+
+Every decision a policy makes is appended to :attr:`SchedulePolicy.trace`
+as a ``(kind, value)`` pair -- ``"L"``/``"U"``/``"P"`` for the three
+seams -- where value 0 means "keep the default schedule".  Because the
+simulator is otherwise deterministic, the trace *is* the schedule:
+feeding it back through :class:`ReplayPolicy` reproduces the exact same
+execution, which is what repro bundles and the shrinker are built on.
+
+Lane permutations only shuffle process resumes (``_SEND``/``_THROW``
+entries); plain callbacks -- model-internal machinery like store-buffer
+drains and message deliveries -- keep their relative order, so a policy
+can never push the *machine model* into a physically impossible state,
+only the threads into a different legal interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "SchedulePolicy",
+    "RandomWalkPolicy",
+    "PCTPolicy",
+    "BoundedPreemptionPolicy",
+    "ReplayPolicy",
+]
+
+#: lane-entry kind that plain callbacks use (see repro.sim.engine);
+#: entries of this kind are never permuted
+_CALLBACK = 2
+
+Decision = Tuple[str, int]
+
+
+def _seeded_shuffle(xs: List, seed: int) -> None:
+    """In-place Fisher-Yates driven by a tiny LCG.
+
+    Deliberately not ``random.shuffle``: the permutation must be a pure
+    function of ``seed`` across Python versions and processes, because
+    the recorded seed is what repro bundles replay.
+    """
+    s = (seed ^ 0x9E3779B9) & 0x7FFFFFFF or 1
+    for i in range(len(xs) - 1, 0, -1):
+        s = (s * 1103515245 + 12345) & 0x7FFFFFFF
+        j = s % (i + 1)
+        xs[i], xs[j] = xs[j], xs[i]
+
+
+class SchedulePolicy:
+    """Base policy: records every decision; subclasses choose values.
+
+    The base class always chooses 0 ("keep default") everywhere, so
+    installing it changes nothing about the execution -- useful as a
+    decision-point *counter* (``points``) for sizing systematic search.
+    """
+
+    kind = "null"
+
+    def __init__(self) -> None:
+        #: every decision made, in the order the run consulted the policy
+        self.trace: List[Decision] = []
+        #: decision points seen per kind (even when the choice was 0)
+        self.points: Dict[str, int] = {"L": 0, "U": 0, "P": 0}
+
+    # -- subclass choice hooks (value 0 = keep the default schedule) ------
+    def _lane_choice(self, n: int, now: int) -> int:
+        return 0
+
+    def _udn_choice(self, src_node: int, dst_core: int, demux: int,
+                    n_words: int, now: int) -> int:
+        return 0
+
+    def _preempt_choice(self, tag: str, tid: int, now: int) -> int:
+        return 0
+
+    # -- seam entry points (called by engine / UDN / sched_point) ---------
+    def reorder_lane(self, entries: List, now: int) -> List:
+        """Permute a same-cycle lane chunk; called only for len >= 2."""
+        self.points["L"] += 1
+        choice = int(self._lane_choice(len(entries), now))
+        self.trace.append(("L", choice))
+        if choice == 0:
+            return entries
+        # permute process resumes only; pin callbacks in place
+        idx = [i for i, e in enumerate(entries) if e[2] != _CALLBACK]
+        if len(idx) < 2:
+            return entries
+        vals = [entries[i] for i in idx]
+        _seeded_shuffle(vals, choice)
+        out = list(entries)
+        for i, v in zip(idx, vals):
+            out[i] = v
+        return out
+
+    def udn_delay(self, src_node: int, dst_core: int, demux: int,
+                  n_words: int, now: int) -> int:
+        self.points["U"] += 1
+        d = int(self._udn_choice(src_node, dst_core, demux, n_words, now))
+        self.trace.append(("U", d))
+        return d
+
+    def preempt(self, tag: str, tid: int, now: int) -> int:
+        self.points["P"] += 1
+        d = int(self._preempt_choice(tag, tid, now))
+        self.trace.append(("P", d))
+        return d
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def forced_choices(self) -> int:
+        """Decisions that deviated from the default schedule."""
+        return sum(1 for _k, v in self.trace if v)
+
+    def describe(self) -> Dict:
+        """Provenance metadata stored in repro bundles (not replayed)."""
+        return {"kind": self.kind}
+
+
+class RandomWalkPolicy(SchedulePolicy):
+    """Seeded random-walk fuzzing: at each decision point, independently
+    deviate from the default schedule with a small probability.
+
+    Lane deviations pick a random shuffle seed; UDN and preemption
+    deviations pick a delay from a small menu spanning "a cache miss"
+    to "an OS time slice", which is where most real-world races hide.
+    """
+
+    kind = "random-walk"
+
+    def __init__(self, seed: int, *, p_lane: float = 0.25, p_udn: float = 0.2,
+                 p_preempt: float = 0.25,
+                 udn_delays: Sequence[int] = (40, 160, 600),
+                 preempt_delays: Sequence[int] = (150, 700, 2500)):
+        super().__init__()
+        self.seed = seed
+        self.p_lane = p_lane
+        self.p_udn = p_udn
+        self.p_preempt = p_preempt
+        self.udn_delays = tuple(udn_delays)
+        self.preempt_delays = tuple(preempt_delays)
+        self._rng = random.Random(seed)
+
+    def _lane_choice(self, n: int, now: int) -> int:
+        r = self._rng
+        return r.randrange(1, 1 << 30) if r.random() < self.p_lane else 0
+
+    def _udn_choice(self, src_node: int, dst_core: int, demux: int,
+                    n_words: int, now: int) -> int:
+        r = self._rng
+        return r.choice(self.udn_delays) if r.random() < self.p_udn else 0
+
+    def _preempt_choice(self, tag: str, tid: int, now: int) -> int:
+        r = self._rng
+        return r.choice(self.preempt_delays) if r.random() < self.p_preempt else 0
+
+    def describe(self) -> Dict:
+        return {"kind": self.kind, "seed": self.seed,
+                "p_lane": self.p_lane, "p_udn": self.p_udn,
+                "p_preempt": self.p_preempt,
+                "udn_delays": list(self.udn_delays),
+                "preempt_delays": list(self.preempt_delays)}
+
+
+class PCTPolicy(SchedulePolicy):
+    """PCT-style priority schedules (Burckhardt et al.) over preemption
+    points.
+
+    Each thread gets a random priority on first sight; at every
+    annotated step a thread is slowed proportionally to its priority
+    rank (rank 0 runs full speed).  ``depth`` priority *change points*
+    are sampled among the first ``horizon`` steps; a thread hitting one
+    is demoted to the lowest rank -- the PCT trick that catches bugs
+    needing d ordering constraints with probability ~1/(n * k^(d-1)).
+    """
+
+    kind = "pct"
+
+    def __init__(self, seed: int, *, depth: int = 3, delay_unit: int = 300,
+                 ranks: int = 4, horizon: int = 512):
+        super().__init__()
+        if ranks < 2:
+            raise ValueError("ranks must be >= 2")
+        self.seed = seed
+        self.depth = depth
+        self.delay_unit = delay_unit
+        self.ranks = ranks
+        self.horizon = horizon
+        self._rng = random.Random(seed ^ 0x5CA1AB1E)
+        self._prio: Dict[int, int] = {}
+        self._change = frozenset(
+            self._rng.sample(range(horizon), min(depth, horizon)))
+        self._step = 0
+
+    def _preempt_choice(self, tag: str, tid: int, now: int) -> int:
+        prio = self._prio.get(tid)
+        if prio is None:
+            prio = self._rng.randrange(self.ranks)
+            self._prio[tid] = prio
+        k = self._step
+        self._step += 1
+        if k in self._change:
+            self._prio[tid] = prio = self.ranks  # demote below everyone
+        return prio * self.delay_unit
+
+    def describe(self) -> Dict:
+        return {"kind": self.kind, "seed": self.seed, "depth": self.depth,
+                "delay_unit": self.delay_unit, "ranks": self.ranks,
+                "horizon": self.horizon}
+
+
+class BoundedPreemptionPolicy(SchedulePolicy):
+    """Systematic mode: force preemptions at an explicit set of points.
+
+    ``forced`` maps the global preemption-point index (0-based, in the
+    order the run reaches them) to a delay.  The harness enumerates
+    these maps in iterative preemption-bounding order: all schedules
+    with one forced preemption, then all pairs, within budget -- most
+    concurrency bugs need only one or two (the CHESS observation).
+    """
+
+    kind = "preemption-bound"
+
+    def __init__(self, forced: Dict[int, int]):
+        super().__init__()
+        self.forced = {int(k): int(v) for k, v in forced.items()}
+        self._step = 0
+
+    def _preempt_choice(self, tag: str, tid: int, now: int) -> int:
+        k = self._step
+        self._step += 1
+        return self.forced.get(k, 0)
+
+    def describe(self) -> Dict:
+        return {"kind": self.kind,
+                "forced": {str(k): v for k, v in sorted(self.forced.items())}}
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Replay a recorded trace: answer each decision point with the
+    recorded value, in per-kind FIFO order; 0 past the end of the trace.
+
+    Because the engine is deterministic, a run driven by the trace of a
+    previous run reaches the same decision points in the same order and
+    reproduces it exactly -- including its failure.  The shrinker relies
+    on the "0 past the end" rule to test truncated prefixes.
+    """
+
+    kind = "replay"
+
+    def __init__(self, trace: Sequence[Decision]):
+        super().__init__()
+        q: Dict[str, Deque[int]] = {"L": deque(), "U": deque(), "P": deque()}
+        for k, v in trace:
+            q[k].append(int(v))
+        self._q = q
+
+    def _lane_choice(self, n: int, now: int) -> int:
+        q = self._q["L"]
+        return q.popleft() if q else 0
+
+    def _udn_choice(self, src_node: int, dst_core: int, demux: int,
+                    n_words: int, now: int) -> int:
+        q = self._q["U"]
+        return q.popleft() if q else 0
+
+    def _preempt_choice(self, tag: str, tid: int, now: int) -> int:
+        q = self._q["P"]
+        return q.popleft() if q else 0

@@ -1,0 +1,414 @@
+"""The algorithm × object × fault-plan exploration matrix.
+
+A :class:`Scenario` is a *self-contained, deterministic* run recipe: a
+machine, a delegation algorithm (or a direct concurrent object), a set
+of bounded client scripts that record a history, structural invariants,
+and the sequential spec the history is checked against.  Given the same
+scenario and the same schedule policy decisions, a run is bit-identical
+-- that is what makes repro bundles replayable.
+
+Oracle layering per run:
+
+1. **exceptions** -- deadlock, protocol give-up, simulator errors;
+2. **structural invariants** -- cheap necessary conditions (ticket
+   permutation / exactly-once for counters, element conservation for
+   containers) that give a crisp first diagnosis;
+3. **linearizability** -- the Wing & Gong checker against the object's
+   sequential spec (:mod:`repro.analysis.linearizability`).
+
+Scenario-design notes (why the matrix has no false positives):
+
+* HYBCOMB runs with the lease/takeover extension *off*: with leases on,
+  a combiner preempted past its lease is overtaken by design, which is
+  the documented at-least-once behaviour, not a bug.  The takeover races
+  live in the mutation self-test (:mod:`repro.explore.mutations`).
+* The fault-tolerant MP-SERVER crash scenario filters out forced
+  preemption of the *servers* and of the CS body (``no_preempt_tags``):
+  a lease-free primary/backup pair preempted past the client timeout
+  can legitimately double-execute (see ``repro.core.mp_server`` docs).
+  Message delays and tie-breaks remain fully adversarial, and the crash
+  itself is the fault plan's job.
+* The counter CS body used here contains a ``sched_point`` *between its
+  load and its store* -- so a policy can park a combiner/server in the
+  middle of a critical section.  For a correct delegation algorithm
+  that is harmless by construction (mutual exclusion); for a broken one
+  it turns the race window into duplicate tickets the checker rejects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
+
+from repro.analysis.linearizability import (
+    EMPTY,
+    CounterSpec,
+    ElimStackSpec,
+    History,
+    LCRQSpec,
+    PoolSpec,
+    QueueSpec,
+    SequentialSpec,
+    StackSpec,
+    check_linearizable,
+)
+from repro.core import CCSynch, FlatCombining, HybComb, MPServer, OpTable, ShmServer
+from repro.explore.policy import SchedulePolicy
+from repro.faults import CrashThread, FaultInjector, FaultPlan
+from repro.machine import Machine, tile_gx
+from repro.objects import LCRQ, EliminationStack, LockedStack, OneLockMSQueue, TreiberStack
+from repro.workload.driver import run_ops
+
+__all__ = ["Scenario", "Outcome", "run_scenario", "matrix", "scenario_by_id",
+           "SMALL_MATRIX", "FULL_MATRIX", "MUTATION_SCENARIO"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic run recipe of the exploration matrix."""
+
+    sid: str                 #: unique id, e.g. ``"HybComb/counter"``
+    algo: str                #: delegation algorithm, or ``"direct"``
+    obj: str                 #: counter | msqueue | stack | lcrq | treiber | elim | pool
+    nthreads: int = 4        #: client threads
+    ops_each: int = 6        #: operations per client (x2 for containers)
+    seed: int = 1            #: think-time seed
+    fault: str = "none"      #: "none" | "crash-server"
+    max_ops: int = 200       #: combiner MAX_OPS, where applicable
+    #: sched_point tags this scenario zeroes out (documented protocol
+    #: limitations, not bugs -- see module docs)
+    no_preempt_tags: FrozenSet[str] = field(default_factory=frozenset)
+
+
+@dataclass
+class Outcome:
+    """The verdict of one explored run."""
+
+    ok: bool
+    kind: str                #: "ok" | "linearizability" | "invariant" | "exception"
+    detail: str
+    #: completed operations as (tid, op, arg, retval, invoke_t, response_t)
+    history: List[Tuple]
+    forced_choices: int      #: policy decisions that deviated from default
+    trace: List[Tuple[str, int]]   #: full decision trace (replayable)
+    events: int = 0          #: engine events the run processed
+
+
+class _TagFilterPolicy(SchedulePolicy):
+    """Wrap a policy, zeroing forced preemptions at forbidden tags.
+
+    The inner policy is still consulted for every decision (so its RNG
+    stream stays aligned with unfiltered runs); only the value returned
+    to the seam -- and recorded in *this* policy's authoritative trace --
+    is filtered.
+    """
+
+    def __init__(self, inner: SchedulePolicy, forbidden: FrozenSet[str]):
+        super().__init__()
+        self.kind = inner.kind
+        self.inner = inner
+        self.forbidden = frozenset(forbidden)
+
+    def reorder_lane(self, entries: List, now: int) -> List:
+        self.points["L"] += 1
+        out = self.inner.reorder_lane(entries, now)
+        self.trace.append(self.inner.trace[-1])
+        return out
+
+    def udn_delay(self, src_node: int, dst_core: int, demux: int,
+                  n_words: int, now: int) -> int:
+        self.points["U"] += 1
+        d = self.inner.udn_delay(src_node, dst_core, demux, n_words, now)
+        self.trace.append(("U", d))
+        return d
+
+    def preempt(self, tag: str, tid: int, now: int) -> int:
+        self.points["P"] += 1
+        d = self.inner.preempt(tag, tid, now)
+        if tag in self.forbidden:
+            d = 0
+        self.trace.append(("P", d))
+        return d
+
+    def describe(self) -> Dict:
+        meta = self.inner.describe()
+        meta["filtered_tags"] = sorted(self.forbidden)
+        return meta
+
+
+def _register_counter(machine: Machine, optable: OpTable) -> Tuple[int, int]:
+    """Fetch-and-increment CS body with a mid-CS preemption point."""
+    addr = machine.mem.alloc(1, isolated=True)
+
+    def fetch_inc(ctx, arg):
+        v = yield from ctx.load(addr)
+        if ctx.sim.policy is not None:
+            # the load/store window: parking the executing thread here is
+            # how a mutual-exclusion violation becomes a duplicate ticket
+            yield from ctx.sched_point("object.rmw")
+        yield from ctx.store(addr, v + 1)
+        return v
+
+    opcode = optable.register(fetch_inc, "fetch_inc")
+    return addr, opcode
+
+
+def _build_prim(scn: Scenario, machine: Machine, optable: OpTable):
+    """Returns (prim, client_tids, faults) for a delegation scenario."""
+    n = scn.nthreads
+    faults: Tuple = ()
+    if scn.algo == "mp-server":
+        prim = MPServer(machine, optable, server_tid=0)
+        tids = range(1, n + 1)
+    elif scn.algo == "mp-server-ft":
+        prim = MPServer(machine, optable, server_tid=0, server_core=0,
+                        backup_tid=1, backup_core=1, request_timeout=9_000)
+        tids = range(2, n + 2)
+        if scn.fault == "crash-server":
+            faults = (CrashThread(tid=0, at_cycle=2_500),)
+    elif scn.algo == "shm-server":
+        prim = ShmServer(machine, optable, server_tid=0,
+                         client_tids=range(1, n + 1))
+        tids = range(1, n + 1)
+    elif scn.algo == "HybComb":
+        prim = HybComb(machine, optable, max_ops=scn.max_ops)
+        tids = range(n)
+    elif scn.algo == "hybcomb-buggy":
+        from repro.explore.mutations import BuggyHybComb
+        prim = BuggyHybComb(machine, optable, max_ops=scn.max_ops,
+                            lease_cycles=600, request_timeout=1_200)
+        tids = range(n)
+    elif scn.algo == "CC-Synch":
+        prim = CCSynch(machine, optable, max_ops=scn.max_ops)
+        tids = range(n)
+    elif scn.algo == "flat-combining":
+        prim = FlatCombining(machine, optable)
+        tids = range(n)
+    else:
+        raise ValueError(f"unknown algorithm {scn.algo!r}")
+    return prim, list(tids), faults
+
+
+def run_scenario(scn: Scenario, policy: Optional[SchedulePolicy] = None,
+                 *, max_events: int = 5_000_000) -> Outcome:
+    """Execute one scenario under ``policy`` and return the verdict."""
+    if policy is not None and scn.no_preempt_tags:
+        policy = _TagFilterPolicy(policy, scn.no_preempt_tags)
+    machine = Machine(tile_gx())
+    machine.sim.max_events = max_events
+    machine.sim.policy = policy
+
+    history = History()
+    rng = random.Random(scn.seed)
+    think_unit = machine.cfg.work_cycles_per_iteration
+    invariant_err: List[str] = []
+    prims: List[Any] = []
+    faults: Tuple = ()
+
+    if scn.obj == "counter":
+        optable = OpTable()
+        addr, opcode = _register_counter(machine, optable)
+        prim, tids, faults = _build_prim(scn, machine, optable)
+        prim.start()
+        prims.append(prim)
+        tickets: List[int] = []
+
+        def script(ctx, thinks):
+            for k in range(scn.ops_each):
+                if ctx.sim.policy is not None:
+                    yield from ctx.sched_point("script.gap")
+                t0 = machine.now
+                v = yield from prim.apply_op(ctx, opcode, 0)
+                history.record(ctx.tid, "inc", None, v, t0, machine.now)
+                tickets.append(v)
+                yield from ctx.work(thinks[k] * think_unit)
+
+        ctxs = [machine.thread(t) for t in tids]
+        scripts = [
+            (ctx, script(ctx, [rng.randrange(0, 30) for _ in range(scn.ops_each)]))
+            for ctx in ctxs
+        ]
+        spec: SequentialSpec = CounterSpec()
+
+        def check_invariants():
+            total = len(tids) * scn.ops_each
+            if sorted(tickets) != list(range(total)):
+                invariant_err.append(
+                    f"tickets are not a permutation of 0..{total - 1}: "
+                    f"{sorted(tickets)}")
+            final = machine.mem.peek(addr)
+            if final != total:
+                invariant_err.append(
+                    f"final counter {final} != {total} completed ops")
+
+    elif scn.obj in ("msqueue", "stack", "lcrq", "treiber", "elim", "pool"):
+        pushed: List[int] = []
+        popped: List[int] = []
+        if scn.algo == "direct":
+            if scn.obj == "lcrq":
+                obj = LCRQ(machine, ring_size=8)
+                push, pop, names = obj.enqueue, obj.dequeue, ("enq", "deq")
+                spec = LCRQSpec()
+            elif scn.obj == "treiber":
+                obj = TreiberStack(machine)
+                push, pop, names = obj.push, obj.pop, ("push", "pop")
+                spec = StackSpec()
+            elif scn.obj == "elim":
+                obj = EliminationStack(machine, TreiberStack(machine),
+                                       num_slots=2, window_cycles=60,
+                                       seed=scn.seed + 77)
+                push, pop, names = obj.push, obj.pop, ("push", "pop")
+                spec = ElimStackSpec()
+            elif scn.obj == "pool":
+                # the same elimination front-end, validated against the
+                # weaker bag oracle it guarantees when used as a buffer
+                obj = EliminationStack(machine, TreiberStack(machine),
+                                       num_slots=2, window_cycles=60,
+                                       seed=scn.seed + 78)
+                push, pop, names = obj.push, obj.pop, ("put", "get")
+                spec = PoolSpec()
+            else:
+                raise ValueError(f"object {scn.obj!r} needs a delegation "
+                                 f"algorithm")
+            tids = list(range(scn.nthreads))
+        else:
+            optable = OpTable()
+            prim, tids, faults = _build_prim(scn, machine, optable)
+            if scn.obj == "msqueue":
+                obj = OneLockMSQueue(prim)
+                push, pop, names = obj.enqueue, obj.dequeue, ("enq", "deq")
+                spec = QueueSpec()
+            elif scn.obj == "stack":
+                obj = LockedStack(prim)
+                push, pop, names = obj.push, obj.pop, ("push", "pop")
+                spec = StackSpec()
+            else:
+                raise ValueError(f"object {scn.obj!r} is direct-only")
+            prim.start()
+            prims.append(prim)
+
+        def script(ctx, idx, thinks):
+            for k in range(scn.ops_each):
+                if ctx.sim.policy is not None:
+                    yield from ctx.sched_point("script.gap")
+                val = (idx + 1) * 1000 + k
+                t0 = machine.now
+                yield from push(ctx, val)
+                history.record(ctx.tid, names[0], val, None, t0, machine.now)
+                pushed.append(val)
+                yield from ctx.work(thinks[2 * k] * think_unit)
+                t0 = machine.now
+                v = yield from pop(ctx)
+                history.record(ctx.tid, names[1], None, v, t0, machine.now)
+                popped.append(v)
+                yield from ctx.work(thinks[2 * k + 1] * think_unit)
+
+        ctxs = [machine.thread(t) for t in tids]
+        scripts = [
+            (ctx, script(ctx, i,
+                         [rng.randrange(0, 30) for _ in range(2 * scn.ops_each)]))
+            for i, ctx in enumerate(ctxs)
+        ]
+
+        def check_invariants():
+            got = [v for v in popped if v != EMPTY]
+            if len(got) != len(set(got)):
+                invariant_err.append(f"an element was popped twice: {sorted(got)}")
+            extras = set(got) - set(pushed)
+            if extras:
+                invariant_err.append(f"elements never pushed: {sorted(extras)}")
+    else:
+        raise ValueError(f"unknown object {scn.obj!r}")
+
+    if faults:
+        FaultInjector(machine, FaultPlan(seed=scn.seed, faults=faults)).install()
+
+    try:
+        run_ops(machine, scripts, prims=prims)
+    except Exception as exc:  # noqa: BLE001 -- every escape is a finding
+        return _outcome(False, "exception", f"{type(exc).__name__}: {exc}",
+                        history, policy, machine)
+
+    check_invariants()
+    if invariant_err:
+        return _outcome(False, "invariant", "; ".join(invariant_err),
+                        history, policy, machine)
+    try:
+        linearizable = check_linearizable(history, spec)
+    except RuntimeError as exc:
+        return _outcome(False, "exception", f"checker: {exc}", history, policy,
+                        machine)
+    if not linearizable:
+        return _outcome(False, "linearizability",
+                        f"no legal linearization of {len(history)} ops "
+                        f"against {type(spec).__name__}", history, policy, machine)
+    return _outcome(True, "ok", "", history, policy, machine)
+
+
+def _outcome(ok: bool, kind: str, detail: str, history: History,
+             policy: Optional[SchedulePolicy], machine: Machine) -> Outcome:
+    return Outcome(
+        ok=ok, kind=kind, detail=detail,
+        history=[(o.tid, o.op, o.arg, o.retval, o.invoke_t, o.response_t)
+                 for o in history.ops],
+        forced_choices=policy.forced_choices if policy is not None else 0,
+        trace=list(policy.trace) if policy is not None else [],
+        events=machine.sim.events_processed,
+    )
+
+
+# -- the matrix ----------------------------------------------------------------
+
+def _scn(algo: str, obj: str, **kw) -> Scenario:
+    return Scenario(sid=f"{algo}/{obj}", algo=algo, obj=obj, **kw)
+
+
+SMALL_MATRIX: List[Scenario] = [
+    _scn("mp-server", "counter", nthreads=4, ops_each=6),
+    _scn("shm-server", "counter", nthreads=4, ops_each=6),
+    _scn("HybComb", "counter", nthreads=5, ops_each=6, max_ops=3),
+    _scn("CC-Synch", "counter", nthreads=5, ops_each=6, max_ops=3),
+    _scn("flat-combining", "counter", nthreads=4, ops_each=6),
+    _scn("HybComb", "msqueue", nthreads=4, ops_each=5, max_ops=3),
+    _scn("CC-Synch", "stack", nthreads=4, ops_each=5, max_ops=3),
+    _scn("direct", "lcrq", nthreads=4, ops_each=5),
+    _scn("direct", "treiber", nthreads=4, ops_each=5),
+    _scn("direct", "pool", nthreads=4, ops_each=5),
+]
+
+FULL_MATRIX: List[Scenario] = SMALL_MATRIX + [
+    _scn("mp-server", "msqueue", nthreads=4, ops_each=5),
+    _scn("mp-server", "stack", nthreads=4, ops_each=5),
+    _scn("shm-server", "msqueue", nthreads=4, ops_each=5),
+    _scn("shm-server", "stack", nthreads=4, ops_each=5),
+    _scn("HybComb", "stack", nthreads=4, ops_each=5, max_ops=3),
+    _scn("CC-Synch", "msqueue", nthreads=4, ops_each=5, max_ops=3),
+    _scn("flat-combining", "msqueue", nthreads=4, ops_each=5),
+    _scn("flat-combining", "stack", nthreads=4, ops_each=5),
+    _scn("direct", "elim", nthreads=4, ops_each=5),
+    Scenario(sid="mp-server-ft/counter@crash", algo="mp-server-ft",
+             obj="counter", nthreads=4, ops_each=6, fault="crash-server",
+             no_preempt_tags=frozenset({"mp_server.poll", "object.rmw"})),
+]
+
+#: the seeded-bug scenario of the mutation self-test (never in the
+#: default matrices -- it is SUPPOSED to fail)
+MUTATION_SCENARIO = Scenario(sid="hybcomb-buggy/counter", algo="hybcomb-buggy",
+                             obj="counter", nthreads=5, ops_each=2, max_ops=2)
+
+
+def matrix(name: str) -> List[Scenario]:
+    if name == "small":
+        return list(SMALL_MATRIX)
+    if name == "full":
+        return list(FULL_MATRIX)
+    raise ValueError(f"unknown matrix {name!r} (expected 'small' or 'full')")
+
+
+def scenario_by_id(sid: str) -> Scenario:
+    """Resolve a scenario id (used by bundle replay)."""
+    for scn in FULL_MATRIX + [MUTATION_SCENARIO]:
+        if scn.sid == sid:
+            return scn
+    raise KeyError(f"unknown scenario id {sid!r}")

@@ -149,6 +149,25 @@ class ThreadCtx:
             self.core.busy += cycles
             yield cycles
 
+    def sched_point(self, tag: str) -> Generator[Any, Any, None]:
+        """Annotated preemption point (schedule-exploration seam).
+
+        Algorithms mark their racy windows -- CAS retry loops, combiner
+        handoff, server poll -- with ``yield from ctx.sched_point(tag)``
+        behind an ``if ctx.sim.policy is not None`` guard, so default
+        runs create no generator and execute no extra cycles.  When a
+        policy is installed it may answer with a delay, modelling the
+        thread being preempted (descheduled) at exactly that step; the
+        cycles are charged as ``wait`` (idle), not busy work.
+        """
+        policy = self.sim.policy
+        if policy is None:
+            return
+        delay = int(policy.preempt(tag, self.tid, self.sim.now))
+        if delay > 0:
+            self.core.wait += delay
+            yield delay
+
     # -- coherent shared memory -------------------------------------------
     def load(self, addr: int) -> Generator[Any, Any, int]:
         return (yield from self.mem.load(self.core, addr))

@@ -25,6 +25,16 @@ Events scheduled for the same cycle fire in FIFO order of scheduling
 program produces the exact same execution every run.  All randomness in
 higher layers flows from seeded generators.
 
+Schedule exploration hooks into exactly one seam here: when
+:attr:`Simulator.policy` is set (a ``repro.explore`` ``SchedulePolicy``),
+each grabbed same-cycle chunk with more than one entry is offered to
+``policy.reorder_lane(entries, now)`` before being swept.  Any
+permutation the policy returns is a legal tie-break order (all entries
+are due the same cycle; resume generations already make stale wakeups
+drop safely in any order).  With ``policy`` left ``None`` -- the default
+-- the sweep takes the exact pre-existing path, so default runs stay
+bit-identical (see tests/test_parallel.py golden fingerprints).
+
 Scheduler internals
 -------------------
 Entries are processed in strict ``(when, seq)`` order, but they are not
@@ -394,7 +404,8 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_fast", "_seq",
                  "_nevents", "max_events",
-                 "detect_deadlock", "_processes", "_corpses", "_current", "obs")
+                 "detect_deadlock", "_processes", "_corpses", "_current", "obs",
+                 "policy")
 
     def __init__(self, max_events: Optional[int] = None):
         self.now: int = 0
@@ -402,6 +413,12 @@ class Simulator:
         #: Publishers guard every emit with ``if sim.obs is not None``,
         #: so a run without observability pays only that comparison.
         self.obs = None
+        #: schedule-exploration policy (:mod:`repro.explore`); ``None`` =
+        #: off.  When set, same-cycle lane chunks are offered to
+        #: ``policy.reorder_lane`` and higher layers consult
+        #: ``policy.udn_delay`` / ``policy.preempt`` at their own seams.
+        #: Must be installed before :meth:`run` (it is read once per call).
+        self.policy = None
         self._heap: List[Any] = []
         #: same-cycle fast lane: entries due at cycle ``now``, in
         #: sequence order (consumed in place by index inside :meth:`run`)
@@ -479,6 +496,7 @@ class Simulator:
         INT = int
         SEND, CALLBACK = _SEND, _CALLBACK
         max_events = self.max_events if self.max_events is not None else _NO_CAP
+        policy = self.policy  # read once per run() call (None = off)
         horizon = until if until is not None else _NEVER
         if horizon < self.now:
             # pathological but defined: a horizon in the past processes
@@ -519,9 +537,16 @@ class Simulator:
                             return
                     else:
                         # ---- lane sweep: the hot path --------------------
-                        chunk = iter(fast)
+                        grabbed = fast
                         self._fast = fast = []
                         fappend = fast.append
+                        if policy is not None and len(grabbed) > 1:
+                            # exploration seam: the policy may permute the
+                            # same-cycle tie-break order (all entries are
+                            # due at ``now``; stale ones still drop via
+                            # the generation guard below)
+                            grabbed = policy.reorder_lane(grabbed, now)
+                        chunk = iter(grabbed)
                         for proc, payload, kind, gen in chunk:
                             if kind == SEND:
                                 # death (finish/kill) bumps the generation

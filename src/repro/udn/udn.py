@@ -161,6 +161,12 @@ class UdnFabric:
         #: optional per-message transit-delay jitter (src_node, dst_node,
         #: n_words) -> extra cycles; installed by the fault injector
         self.transit_jitter: Optional[Callable[[int, int, int], int]] = None
+        #: exploration seam bookkeeping: last scheduled arrival cycle per
+        #: (src_node, dst_core, demux) stream.  Policy-chosen extra delays
+        #: are clamped so a message never arrives before an earlier one of
+        #: the same stream -- the per-pair FIFO guarantee survives any
+        #: policy (used only when ``sim.policy`` is installed).
+        self._policy_last_arrival: Dict[Tuple[int, int, int], int] = {}
 
     # -- registration -------------------------------------------------------
     def register(self, tid: int, core_id: int, demux: int = 0) -> None:
@@ -272,6 +278,21 @@ class UdnFabric:
             transit = self.mesh.latency(core.node, self.cores[dst_core_id].node, n)
             if self.transit_jitter is not None:
                 transit += int(self.transit_jitter(core.node, self.cores[dst_core_id].node, n))
+            policy = self.sim.policy
+            if policy is not None:
+                # exploration seam: the policy may stretch this message's
+                # transit, reordering deliveries *across* streams while the
+                # clamp below keeps each (src, dst-queue) stream FIFO --
+                # exactly the reorderings real mesh contention can produce.
+                extra = int(policy.udn_delay(core.node, dst_core_id, demux,
+                                             n, sent_at))
+                key = (core.node, dst_core_id, demux)
+                arrive = sent_at + transit + extra
+                prev = self._policy_last_arrival.get(key, 0)
+                if arrive < prev:
+                    arrive = prev
+                self._policy_last_arrival[key] = arrive
+                transit = arrive - sent_at
             self.sim.call_after(
                 transit, lambda: self._deliver(dst_core_id, demux, payload, sent_at, msg_id))
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, List, Optional, Sequence
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from repro.core.api import SyncPrimitive
 from repro.machine.machine import Machine, ThreadCtx
 from repro.workload.metrics import RunResult
 
-__all__ = ["WorkloadSpec", "run_workload"]
+__all__ = ["WorkloadSpec", "run_ops", "run_workload"]
 
 
 @dataclass
@@ -49,6 +49,43 @@ class WorkloadSpec:
     @classmethod
     def full(cls) -> "WorkloadSpec":
         return cls(warmup_cycles=100_000, measure_cycles=600_000)
+
+
+def run_ops(
+    machine: Machine,
+    scripts: "Sequence[Tuple[ThreadCtx, Generator]]",
+    *,
+    prims: Sequence[Any] = (),
+) -> List[Any]:
+    """Run bounded per-thread scripts to completion and join them all.
+
+    The windowed loop above measures throughput over a time horizon; the
+    correctness tools (history recording, schedule exploration) instead
+    need every thread to perform a *fixed number* of operations and
+    finish.  ``scripts`` is a sequence of ``(ctx, generator)`` pairs,
+    spawned in order; a coordinator process joins them, then calls
+    ``stop()`` on any primitive in ``prims`` that has one (polling
+    server loops), and the machine runs until fully drained.
+
+    Returns the finished client :class:`~repro.sim.engine.Process`
+    objects; raises ``RuntimeError`` naming the first client that did
+    not finish (e.g. wedged by an injected fault).
+    """
+    procs = [machine.spawn(ctx, gen) for ctx, gen in scripts]
+
+    def coordinator() -> Generator:
+        for p in procs:
+            yield from p.join()
+        for prim in prims:
+            if hasattr(prim, "stop"):
+                prim.stop()
+
+    machine.sim.spawn(coordinator(), name="coordinator")
+    machine.run()
+    for p in procs:
+        if p.alive:
+            raise RuntimeError(f"client process {p.name!r} did not finish")
+    return procs
 
 
 def run_workload(

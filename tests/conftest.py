@@ -1,0 +1,21 @@
+"""Pytest/hypothesis configuration for the test suite.
+
+Two hypothesis profiles:
+
+* ``default`` (local runs) -- randomized examples; on failure, print the
+  reproduction blob (``@reproduce_failure``) so the exact failing input
+  can be replayed without guessing seeds.
+* ``ci`` -- fully derandomized: hypothesis derives its choices from each
+  test's name, so every CI run executes the identical example set and a
+  red build always reproduces locally with ``HYPOTHESIS_PROFILE=ci``.
+
+Select with the ``HYPOTHESIS_PROFILE`` environment variable.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", print_blob=True)
+settings.register_profile("ci", derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

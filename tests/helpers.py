@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.linearizability import History
 from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
 from repro.machine import Machine, tile_gx
+from repro.workload.driver import run_ops
 
 
 def make_counter(machine: Machine, optable: OpTable):
@@ -66,7 +68,6 @@ def run_clients(machine, prim, opcode, ctxs, ops_each: int, *, seed: int = 1,
     rng = np.random.default_rng(seed)
     think = machine.cfg.work_cycles_per_iteration
     results = [[] for _ in ctxs]
-    procs = []
 
     def client(i, ctx, thinks):
         for k in range(ops_each):
@@ -74,18 +75,36 @@ def run_clients(machine, prim, opcode, ctxs, ops_each: int, *, seed: int = 1,
             results[i].append(v)
             yield from ctx.work(int(thinks[k]) * think)
 
-    for i, ctx in enumerate(ctxs):
-        thinks = rng.integers(0, think_max + 1, size=ops_each)
-        procs.append(machine.spawn(ctx, client(i, ctx, thinks)))
-
-    def coordinator():
-        for p in procs:
-            yield from p.join()
-        if hasattr(prim, "stop"):
-            prim.stop()
-
-    machine.sim.spawn(coordinator(), name="coordinator")
-    machine.run()
-    for p in procs:
-        assert not p.alive, "client did not finish"
+    scripts = [
+        (ctx, client(i, ctx, rng.integers(0, think_max + 1, size=ops_each)))
+        for i, ctx in enumerate(ctxs)
+    ]
+    run_ops(machine, scripts, prims=(prim,))
     return results
+
+
+def record_counter_history(prim_name: str, nthreads: int, ops_each: int,
+                           seed: int, *, think_max: int = 60) -> History:
+    """Run a counter workload and record its concurrent history.
+
+    The single source of the history-recording loop the linearizability
+    and property tests share: each client timestamps its invocation and
+    response around ``apply_op`` and records an "inc" operation, giving
+    a :class:`~repro.analysis.linearizability.History` ready for
+    ``check_linearizable(h, CounterSpec())``.
+    """
+    machine, prim, _addr, opcode, ctxs = build(prim_name, nthreads, debug=False)
+    history = History()
+    rng = np.random.default_rng(seed)
+
+    def client(ctx, thinks):
+        for k in range(ops_each):
+            t0 = machine.now
+            v = yield from prim.apply_op(ctx, opcode, 0)
+            history.record(ctx.tid, "inc", None, v, t0, machine.now)
+            yield from ctx.work(int(thinks[k]))
+
+    scripts = [(ctx, client(ctx, rng.integers(0, think_max, ops_each)))
+               for ctx in ctxs]
+    run_ops(machine, scripts, prims=(prim,))
+    return history

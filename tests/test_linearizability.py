@@ -16,9 +16,10 @@ from repro.analysis.linearizability import (
     StackSpec,
     check_linearizable,
 )
-from repro.core import CCSynch, HybComb, MPServer, OpTable
+from repro.core import MPServer, OpTable
 from repro.machine import Machine, tile_gx
 from repro.objects import LockedStack, OneLockMSQueue, TreiberStack
+from tests.helpers import record_counter_history
 
 
 def H(*ops):
@@ -125,44 +126,8 @@ def test_chunked_frontier_carries_ambiguous_state():
 
 
 # -- end-to-end: recorded simulator histories ------------------------------------
-
-def record_counter_history(prim_name, nthreads, ops_each, seed):
-    m = Machine(tile_gx())
-    table = OpTable()
-    addr = m.mem.alloc(1, isolated=True)
-
-    def fetch_inc(ctx, arg):
-        v = yield from ctx.load(addr)
-        yield from ctx.store(addr, v + 1)
-        return v
-
-    opcode = table.register(fetch_inc)
-    if prim_name == "mp-server":
-        prim = MPServer(m, table, server_tid=0)
-        tids = range(1, nthreads + 1)
-    elif prim_name == "HybComb":
-        prim = HybComb(m, table)
-        tids = range(nthreads)
-    else:
-        prim = CCSynch(m, table)
-        tids = range(nthreads)
-    prim.start()
-    history = History()
-    rng = np.random.default_rng(seed)
-
-    def client(ctx, thinks):
-        for k in range(ops_each):
-            t0 = m.now
-            v = yield from prim.apply_op(ctx, opcode, 0)
-            history.record(ctx.tid, "inc", None, v, t0, m.now)
-            yield from ctx.work(int(thinks[k]))
-
-    for t in tids:
-        ctx = m.thread(t)
-        m.spawn(ctx, client(ctx, rng.integers(0, 60, ops_each)))
-    m.run()
-    return history
-
+# (the recording loop itself lives in tests.helpers.record_counter_history,
+# shared with the property-based suite)
 
 @pytest.mark.parametrize("prim_name", ["mp-server", "HybComb", "CC-Synch"])
 def test_recorded_counter_history_linearizes(prim_name):

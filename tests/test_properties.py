@@ -10,42 +10,15 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
+from repro.core import CCSynch, HybComb, MPServer, OpTable
 from repro.machine import Machine, tile_gx
+from tests.helpers import build
 
 SETTINGS = dict(
     deadline=None,
     max_examples=20,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-
-def build_counter_setup(approach, num_clients, max_ops):
-    machine = Machine(tile_gx(debug_checks=True))
-    table = OpTable()
-    addr = machine.mem.alloc(1, isolated=True)
-
-    def fetch_inc(ctx, arg):
-        v = yield from ctx.load(addr)
-        yield from ctx.store(addr, v + 1)
-        return v
-
-    opcode = table.register(fetch_inc)
-    if approach == "mp-server":
-        prim = MPServer(machine, table, server_tid=0)
-        tids = range(1, num_clients + 1)
-    elif approach == "shm-server":
-        prim = ShmServer(machine, table, server_tid=0,
-                         client_tids=range(1, num_clients + 1))
-        tids = range(1, num_clients + 1)
-    elif approach == "HybComb":
-        prim = HybComb(machine, table, max_ops=max_ops)
-        tids = range(num_clients)
-    else:
-        prim = CCSynch(machine, table, max_ops=max_ops)
-        tids = range(num_clients)
-    prim.start()
-    return machine, prim, addr, opcode, [machine.thread(t) for t in tids]
 
 
 @st.composite
@@ -64,9 +37,8 @@ def test_any_approach_any_schedule_is_linearizable(params):
     """Fetch-and-increment tickets are a permutation of 0..N-1 for every
     approach, client count, MAX_OPS and random think schedule."""
     approach, num_clients, ops_each, max_ops, seed = params
-    machine, prim, addr, opcode, ctxs = build_counter_setup(
-        approach, num_clients, max_ops
-    )
+    machine, prim, addr, opcode, ctxs = build(approach, num_clients,
+                                              max_ops=max_ops)
     rng = np.random.default_rng(seed)
     tickets = []
     procs = []
