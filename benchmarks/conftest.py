@@ -90,6 +90,7 @@ def write_bench_json(fig, filename, *, metrics=None):
         "jobs": resolve_jobs(None),
         "series": series,
     }
+    os.makedirs(BENCH_OUT_DIR, exist_ok=True)
     path = os.path.join(BENCH_OUT_DIR, filename)
     with open(path, "w") as f:
         json.dump(doc, f, indent=1, sort_keys=True)

@@ -1,0 +1,102 @@
+"""Benchmark harness for the overload experiment (hockey stick).
+
+Regenerates the open-loop offered-load sweep at 0.5x / 1.5x / 2x of
+each approach's measured capacity and asserts the degradation shapes
+the overload layer exists to produce:
+
+* below capacity the two admission policies are indistinguishable
+  (nothing is shed, everything meets the SLO);
+* past capacity, **unbounded** admission diverges -- queue depth is
+  still climbing when the window ends and p99.9 sojourn blows up --
+  while **bounded-drop** keeps depth pinned at the configured bound and
+  p99.9 orders of magnitude lower;
+* shedding costs no service capacity: bounded goodput at 2x offered
+  stays within 20% of the closed-loop capacity, and every drop point
+  completes (shedding never deadlocks a client);
+* the saturated-failover point (FT primary crashed at 1.5x under
+  bounded admission) recovers and keeps serving.
+
+The goodput numbers land in ``BENCH_overload.json`` (throughput of an
+open-loop point *is* goodput); ``check_regression.py`` gates them
+against ``benchmarks/baselines/BENCH_overload.json`` with the standard
+10% tolerance.
+"""
+
+from benchmarks.conftest import print_figure, run_once, tput, write_bench_json
+from repro.experiments.overload import APPROACHES, run_overload
+
+#: the smoke sweep: one point below the knee, two past it
+MULTIPLIERS = (0.5, 1.5, 2.0)
+
+#: the sweep is deterministic, so later tests in this module reuse the
+#: figure produced (and timed) by the first instead of re-running it
+_CACHE = {}
+
+
+def _figure(quick):
+    return _CACHE[quick]
+
+
+def _points(fig, label):
+    return dict(fig.series[label].points)
+
+
+def test_overload_hockey_stick(benchmark, quick):
+    fig = run_once(benchmark, run_overload, quick=quick,
+                   multipliers=MULTIPLIERS)
+    _CACHE[quick] = fig
+    print_figure(fig, lambda r: r.p99_latency_cycles)
+    write_bench_json(fig, "BENCH_overload.json")
+
+    for approach in APPROACHES:
+        un = _points(fig, f"{approach} unbounded")
+        dr = _points(fig, f"{approach} drop")
+        cap = un[2.0].extra["ol.capacity_mops"]
+
+        # below the knee the policies coincide: no shedding, SLO met
+        assert un[0.5].shed_ops == 0 and dr[0.5].shed_ops == 0
+        assert un[0.5].time_in_slo == 1.0 and dr[0.5].time_in_slo == 1.0
+        assert dr[0.5].goodput_mops >= 0.9 * dr[0.5].offered_mops
+
+        # past the knee, unbounded diverges: the queue is still growing
+        # when the window closes and the tail is far beyond the bound
+        r2u, r2d = un[2.0], dr[2.0]
+        assert r2u.extra["ol.qdepth_final"] >= 0.9 * r2u.extra["ol.qdepth_max"], (
+            f"{approach}: unbounded depth not climbing at 2x")
+        assert r2u.extra["ol.qdepth_max"] > 5 * r2d.extra["ol.qdepth_max"], (
+            f"{approach}: no depth contrast at 2x")
+        assert r2u.p999_latency_cycles > 3 * r2d.p999_latency_cycles, (
+            f"{approach}: no tail-latency contrast at 2x")
+        assert r2u.shed_ops == 0 and r2d.shed_ops > 0
+
+        # graceful degradation: bounded goodput within 20% of capacity
+        # at 2x offered, and the SLO still (near-)held
+        assert r2d.goodput_mops >= 0.8 * cap, (
+            f"{approach}: goodput {r2d.goodput_mops:.1f} < 80% of "
+            f"capacity {cap:.1f} at 2x offered")
+        assert r2d.time_in_slo >= 0.95
+
+        # shedding never deadlocks: every bounded point kept completing
+        for mult in MULTIPLIERS:
+            assert dr[mult].ops > 0
+
+
+def test_overload_retry_series_present(quick):
+    fig = _figure(quick)
+    rt = _points(fig, "mp-server retry")
+    # injection never backpressures at this fan-in, so the timed path
+    # must behave exactly like plain bounded-drop (and never regress it)
+    dr = _points(fig, "mp-server drop")
+    for mult in MULTIPLIERS:
+        assert rt[mult].goodput_mops >= 0.9 * dr[mult].goodput_mops
+        assert rt[mult].dispatch_timeouts == 0
+
+
+def test_overload_saturated_failover(quick):
+    fig = _figure(quick)
+    (mult, r), = fig.series["mp-server-ft drop+crash"].points
+    assert mult == 1.5
+    assert r.failovers >= 1
+    assert r.time_to_recovery_cycles is not None
+    assert r.ops > 0 and r.goodput_mops > 0
+    assert r.extra["ol.counter_value"] >= r.ops

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Overload drill: open-loop traffic past capacity, three admission policies.
+
+The paper's benchmark loop is closed: every thread waits for its last
+operation before issuing the next, so offered load can never exceed
+service capacity.  This drill drives the MP-SERVER counter with
+*open-loop* Poisson arrivals at ~1.6x its capacity and compares what
+each admission policy does with the excess:
+
+* ``unbounded`` -- the queue absorbs everything; depth climbs for the
+  whole window and p99.9 sojourn time diverges (the upswing of the
+  hockey stick);
+* ``drop``      -- arrivals over the per-client bound are shed; depth
+  and tail latency stay pinned and goodput holds at capacity;
+* ``retry``     -- like drop, plus a deadline on every dispatch with
+  capped exponential backoff behind a circuit breaker.  At this
+  fan-in MP-SERVER's injection never backpressures, so the timed
+  path behaves exactly like drop -- the timeout machinery is for
+  wedged servers (see examples/fault_drill.py) and tiny UDN buffers.
+
+Every run uses the same seed, so the three policies see the *identical*
+arrival sequence; only the admission decision differs.
+
+Run:  python examples/overload_drill.py
+"""
+
+from repro.core import MPServer, OpTable
+from repro.machine import Machine
+from repro.objects import LockedCounter
+from repro.workload import (
+    AdmissionSpec,
+    ArrivalSpec,
+    OpenLoopSpec,
+    run_openloop_workload,
+)
+
+NUM_CLIENTS = 6
+MEAN_GAP = 45.0          # per-source Poisson mean gap => ~1.6x capacity
+SLO_CYCLES = 20_000
+
+
+def admission(policy: str) -> AdmissionSpec:
+    if policy == "unbounded":
+        return AdmissionSpec(policy="unbounded", slo_cycles=SLO_CYCLES)
+    if policy == "drop":
+        return AdmissionSpec(policy="drop", capacity=16,
+                             slo_cycles=SLO_CYCLES)
+    return AdmissionSpec(policy="retry", capacity=16,
+                         dispatch_timeout_cycles=2_000, max_retries=3,
+                         breaker_threshold=4, slo_cycles=SLO_CYCLES)
+
+
+def run_policy(policy: str):
+    machine = Machine()
+    prim = MPServer(machine, OpTable(), server_tid=0)
+    counter = LockedCounter(prim)
+    prim.start()
+    ctxs = [machine.thread(t) for t in range(1, NUM_CLIENTS + 1)]
+    spec = OpenLoopSpec(
+        arrivals=ArrivalSpec(process="poisson", mean_gap_cycles=MEAN_GAP),
+        admission=admission(policy),
+        warmup_cycles=20_000, measure_cycles=120_000, seed=7,
+    )
+    result = run_openloop_workload(machine, ctxs, prim, counter._op_inc,
+                                   spec, name=policy)
+    # ground truth: every completed op incremented the counter exactly once
+    assert counter.value() >= result.ops
+    return result
+
+
+def main() -> None:
+    print(f"{NUM_CLIENTS} clients, Poisson arrivals, mean gap "
+          f"{MEAN_GAP:.0f} cy/source (~1.6x MP-SERVER capacity), "
+          f"SLO {SLO_CYCLES} cy\n")
+    header = (f"{'policy':>10}  {'offered':>8}  {'goodput':>8}  {'shed':>6}  "
+              f"{'p99':>8}  {'p99.9':>8}  {'depth@end':>9}  {'in-SLO':>6}")
+    print(header)
+    for policy in ("unbounded", "drop", "retry"):
+        r = run_policy(policy)
+        print(f"{policy:>10}  {r.offered_mops:>8.1f}  {r.goodput_mops:>8.1f}  "
+              f"{r.shed_ops:>6d}  {r.p99_latency_cycles:>8.0f}  "
+              f"{r.p999_latency_cycles:>8.0f}  "
+              f"{r.extra['ol.qdepth_final']:>9.0f}  "
+              f"{r.time_in_slo:>6.2f}")
+    print("\nunbounded: the backlog at window end is the hockey stick --")
+    print("depth (and so sojourn) grows for as long as the overload lasts.")
+    print("drop/retry: identical goodput, bounded depth, SLO held; the")
+    print("shed column is the price, paid explicitly instead of in latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,12 +19,29 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.machine.machine import Machine, ThreadCtx
 
-__all__ = ["OpTable", "SyncPrimitive", "NULL_ARG"]
+__all__ = ["DispatchTimeout", "OpTable", "SyncPrimitive", "NULL_ARG"]
 
 #: placeholder argument for zero-argument operations
 NULL_ARG = 0
 
 OpFn = Callable[[ThreadCtx, int], Generator[Any, Any, int]]
+
+
+class DispatchTimeout(Exception):
+    """A timed dispatch expired *before the operation was committed*.
+
+    Raised only by :meth:`SyncPrimitive.apply_op_timed` implementations
+    that can abandon cleanly: when this escapes, the operation has
+    executed **zero** effects anywhere in the machine, so retrying it is
+    always safe (exactly-once is preserved by construction).  Primitives
+    that cannot withdraw an in-flight request never raise it -- once the
+    request is committed they complete it, even past the deadline.
+    ``waited`` is the cycles spent before giving up.
+    """
+
+    def __init__(self, message: str, waited: int = 0):
+        super().__init__(message)
+        self.waited = waited
 
 
 class OpTable:
@@ -81,10 +98,25 @@ class SyncPrimitive:
     #: human-readable name used in figures/legends
     name: str = "?"
 
+    #: True when :meth:`apply_op_timed` can actually abandon a dispatch
+    #: that missed its deadline (see the method docs); False means the
+    #: deadline is best-effort and admission-queue bounding is the only
+    #: overload control for this primitive
+    abortable_dispatch: bool = False
+
     def __init__(self, machine: Machine, optable: OpTable):
         self.machine = machine
         self.optable = optable
         self._started = False
+        #: application threads currently inside ``apply_op`` (the
+        #: delegation-layer queue depth: registered-but-unserved plus
+        #: in-service requests).  Pure Python bookkeeping sampled by the
+        #: open-loop driver's queue-depth series; costs no simulated
+        #: cycles and is never read by protocols.  A fail-stop crash
+        #: abandons the generator without unwinding, so a crashed
+        #: caller's increment leaks -- the gauge is a stat, not an
+        #: invariant.
+        self.inflight = 0
         #: (end_time, ops_combined) per combining session -- combiners only
         self.combining_sessions: List[Tuple[int, int]] = []
         #: core of the most recent combiner (combiners only; used by the
@@ -107,6 +139,29 @@ class SyncPrimitive:
     def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
         """Execute ``opcode(arg)`` in mutual exclusion; returns its result."""
         raise NotImplementedError
+
+    def apply_op_timed(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG,
+                       timeout: Optional[int] = None) -> Generator[Any, Any, int]:
+        """``apply_op`` with an admission deadline (overload robustness).
+
+        Semantics contract:
+
+        * raises :class:`DispatchTimeout` only while abandonment is still
+          side-effect free -- the op provably executed nowhere, so the
+          caller may shed or retry it without breaking exactly-once;
+        * past the primitive's *commit point* (request injected into the
+          server's hardware queue, node linked into a combining list,
+          channel claimed by the server) the deadline is ignored and the
+          op completes normally, however late.
+
+        The default implementation has no pre-commit wait at all
+        (combining approaches commit with one wait-free SWAP/FAA), so it
+        simply delegates to :meth:`apply_op`; bounding the *admission
+        queue* in front of the client is then the only overload control
+        (see :mod:`repro.workload.openloop`).  Server primitives override
+        this with a genuinely timed pre-commit wait.
+        """
+        return (yield from self.apply_op(ctx, opcode, arg))
 
     # -- metrics hooks -----------------------------------------------------
     def servicing_cores(self) -> List[int]:

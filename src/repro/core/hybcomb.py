@@ -251,6 +251,13 @@ class HybComb(SyncPrimitive):
 
     # -- Algorithm 1 -----------------------------------------------------------
     def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+        self.inflight += 1
+        try:
+            return (yield from self._apply_op(ctx, opcode, arg))
+        finally:
+            self.inflight -= 1
+
+    def _apply_op(self, ctx: ThreadCtx, opcode: int, arg: int) -> Generator[Any, Any, int]:
         tid = ctx.tid
         my_node = self._node_of(tid)
         cas_failures = 0

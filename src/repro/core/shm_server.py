@@ -26,14 +26,28 @@ coherence protocol: the server's read of a freshly-written channel is an
 RMR (R(i), dark grey stall), and its response write invalidates the
 spinning client's copy (W(i), a second RMR) -- two stalls on the critical
 path of every CS, which is exactly what MP-SERVER eliminates.
+
+Overload extension (opt-in, ``cancellable=True``): word 5 becomes a
+*claim* word so a client can withdraw a request the server has not
+committed to yet.  The client posts ``CLAIM = seq`` with the request;
+the server takes ownership with ``CAS(CLAIM, seq, TAKEN+seq)`` before
+executing, and a timed-out client withdraws with ``CAS(CLAIM, seq,
+GONE+seq)``.  Exactly one of the two CASes can win, so a withdrawn
+request provably never executes and a claimed request always completes
+-- the linchpin of :class:`~repro.core.api.DispatchTimeout`'s
+exactly-once contract.  Because the server CAS expects the *exact*
+sequence number it just read, it can never claim a stale request after
+the client has moved on to the next one.  The default mode stores and
+CASes nothing extra and is cycle-identical to the paper's protocol.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.core.api import NULL_ARG, OpTable, SyncPrimitive
+from repro.core.api import DispatchTimeout, NULL_ARG, OpTable, SyncPrimitive
 from repro.machine.machine import Machine, ThreadCtx
+from repro.sim.engine import Interrupt, WaitTimer
 
 __all__ = ["ShmServer"]
 
@@ -42,6 +56,11 @@ _OPCODE = 1
 _ARG = 2
 _RESP_SEQ = 3
 _RETVAL = 4
+_CLAIM = 5
+
+# claim-word states (offsets keep the original seq visible for debugging)
+_TAKEN = 1 << 40   #: CLAIM == _TAKEN + seq: the server owns request seq
+_GONE = 1 << 41    #: CLAIM == _GONE + seq: the client withdrew request seq
 
 
 class ShmServer(SyncPrimitive):
@@ -51,8 +70,20 @@ class ShmServer(SyncPrimitive):
     name = "shm-server"
 
     def __init__(self, machine: Machine, optable: OpTable, server_tid: int = 0,
-                 client_tids: Sequence[int] = (), server_core: int | None = None):
+                 client_tids: Sequence[int] = (), server_core: int | None = None,
+                 cancellable: bool = False):
         super().__init__(machine, optable)
+        if cancellable and machine.cfg.line_words <= _CLAIM:
+            raise ValueError(
+                f"cancellable mode needs {_CLAIM + 1} words per channel line, "
+                f"but {machine.cfg.name!r} lines hold {machine.cfg.line_words}")
+        #: opt-in withdrawable-request protocol (see the module docs);
+        #: off by default so the baseline stays cycle-identical
+        self.cancellable = cancellable
+        self.abortable_dispatch = cancellable
+        #: requests withdrawn by a timed-out client before the server
+        #: claimed them (cancellable mode only)
+        self.requests_cancelled = 0
         self.server_tid = server_tid
         self.server_ctx = machine.thread(server_tid, core_id=server_core)
         # one isolated cache line per client (the RCL channel array)
@@ -102,6 +133,16 @@ class ShmServer(SyncPrimitive):
                 seq = yield from ctx.load(ch + _REQ_SEQ)       # R(i): RMR when fresh
                 if seq == served.get(tid, 0):
                     continue
+                if self.cancellable:
+                    # Commit point: own this exact request before running
+                    # it.  A failed CAS means the client either withdrew
+                    # seq or already posted a newer one -- either way seq
+                    # must never execute, so just mark it scanned.
+                    taken = yield from ctx.cas(ch + _CLAIM, seq, _TAKEN + seq)
+                    if not taken:
+                        served[tid] = seq
+                        self.requests_cancelled += 1
+                        continue
                 opcode = yield from ctx.load(ch + _OPCODE)     # same line: hits
                 arg = yield from ctx.load(ch + _ARG)
                 obs = ctx.sim.obs
@@ -126,23 +167,84 @@ class ShmServer(SyncPrimitive):
             # loop-closing branch of the scan
             yield from ctx.work(1)
 
-    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+    def _post_request(self, ctx: ThreadCtx, opcode: int, arg: int) -> Generator[Any, Any, "Tuple[int, int]"]:
+        """Publish a request on the caller's channel; returns ``(ch, seq)``.
+
+        All the stores share the channel line, so the merging store
+        buffer keeps the sequence bump ordered after the payload without
+        a fence.
+        """
         tid = ctx.tid
         ch = self._channels.get(tid)
         if ch is None:
             raise KeyError(f"thread {tid} has no channel; call add_client({tid}) before start")
         seq = self._client_seq.get(tid, 0) + 1
         self._client_seq[tid] = seq
-        # publish the request on our own channel line; all three stores
-        # share the channel line, so the merging store buffer keeps the
-        # sequence bump ordered after the payload without a fence
         yield from ctx.store(ch + _OPCODE, opcode)
         yield from ctx.store(ch + _ARG, arg)
+        if self.cancellable:
+            # arm the claim word before the bump so the server's CAS on
+            # it always sees this request's own sequence number
+            yield from ctx.store(ch + _CLAIM, seq)
         yield from ctx.store(ch + _REQ_SEQ, seq)
-        # local spin until the server's response sequence catches up
-        yield from ctx.spin_until(ch + _RESP_SEQ, lambda v: v == seq)
-        retval = yield from ctx.load(ch + _RETVAL)
-        return retval
+        return ch, seq
+
+    def apply_op(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG) -> Generator[Any, Any, int]:
+        self.inflight += 1
+        try:
+            ch, seq = yield from self._post_request(ctx, opcode, arg)
+            # local spin until the server's response sequence catches up
+            yield from ctx.spin_until(ch + _RESP_SEQ, lambda v: v == seq)
+            retval = yield from ctx.load(ch + _RETVAL)
+            return retval
+        finally:
+            self.inflight -= 1
+
+    def apply_op_timed(self, ctx: ThreadCtx, opcode: int, arg: int = NULL_ARG,
+                       timeout: Optional[int] = None) -> Generator[Any, Any, int]:
+        """Timed dispatch: withdraw the request if the server does not
+        claim it within ``timeout`` cycles.
+
+        The deadline bounds the *unclaimed* wait only.  When it expires
+        the client races the server for the claim word: winning proves
+        the request never executed (:class:`DispatchTimeout`); losing
+        means the server committed, so the client finishes the spin and
+        returns the (late) result -- the op happened, dropping it now
+        would double-execute on retry.
+        """
+        if timeout is None or not self.cancellable:
+            return (yield from self.apply_op(ctx, opcode, arg))
+        if timeout < 1:
+            raise ValueError("timeout must be >= 1 cycle")
+        self.inflight += 1
+        try:
+            ch, seq = yield from self._post_request(ctx, opcode, arg)
+            sim = ctx.sim
+            t0 = sim.now
+            timer = WaitTimer(sim, sim.current, t0 + timeout)
+            try:
+                yield from ctx.spin_until(ch + _RESP_SEQ, lambda v: v == seq)
+            except Interrupt as exc:
+                if exc.cause is not timer:
+                    raise
+                waited = sim.now - t0
+                gone = yield from ctx.cas(ch + _CLAIM, seq, _GONE + seq)
+                if gone:
+                    obs = sim.obs
+                    if obs is not None:
+                        obs.emit("dispatch.timeout", core=ctx.core.cid,
+                                 tid=ctx.tid, prim=self.name, waited=waited)
+                    raise DispatchTimeout(
+                        f"thread {ctx.tid}: request unclaimed by the server "
+                        f"after {waited} cycles", waited) from None
+                # lost the race: the server owns the request; see it through
+                yield from ctx.spin_until(ch + _RESP_SEQ, lambda v: v == seq)
+            finally:
+                timer.disarm()
+            retval = yield from ctx.load(ch + _RETVAL)
+            return retval
+        finally:
+            self.inflight -= 1
 
     def servicing_cores(self) -> List[int]:
         return [self.server_ctx.core.cid]

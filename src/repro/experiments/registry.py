@@ -50,6 +50,7 @@ from repro.experiments.discussion import (
 )
 from repro.experiments.faults import run_fault_recovery
 from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.overload import run_overload
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig5 import run_fig5a, run_fig5b
 
@@ -70,6 +71,7 @@ EXPERIMENTS: Dict[str, Callable[..., FigureData]] = {
     "disc-backpressure": run_backpressure,
     "disc-noc": run_noc_ablation,
     "disc-faults": run_fault_recovery,
+    "overload": run_overload,
 }
 
 #: which metric each figure plots
@@ -77,6 +79,7 @@ _METRIC = {
     "fig3b": lambda r: r.mean_latency_cycles,
     "fig4b": lambda r: r.combining_rate or 0.0,
     "fig4c": lambda r: r.cycles_per_op,
+    "overload": lambda r: r.p99_latency_cycles,
 }
 
 
@@ -208,6 +211,16 @@ def main(argv=None) -> int:
                     "ops_retried": lambda r: float(r.ops_retried),
                     "duplicates_suppressed": lambda r: float(r.duplicates_suppressed),
                     "failovers": lambda r: float(r.failovers),
+                    # overload extras (zero for closed-loop figures)
+                    "latency_p999": lambda r: r.p999_latency_cycles,
+                    "offered_mops": lambda r: r.offered_mops,
+                    "goodput_mops": lambda r: r.goodput_mops,
+                    "shed_ops": lambda r: float(r.shed_ops),
+                    "dispatch_timeouts": lambda r: float(r.dispatch_timeouts),
+                    "retries": lambda r: float(r.retries),
+                    "time_in_slo": lambda r: (
+                        r.time_in_slo if r.time_in_slo is not None else 1.0),
+                    "qdepth_max": lambda r: r.extra.get("ol.qdepth_max", 0.0),
                 }
                 with open(path, "w") as f:
                     f.write(to_csv(fig, metrics))

@@ -41,6 +41,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.analysis.linearizability import (
     EMPTY,
     CounterSpec,
@@ -59,6 +61,13 @@ from repro.faults import CrashThread, FaultInjector, FaultPlan
 from repro.machine import Machine, tile_gx
 from repro.objects import LCRQ, EliminationStack, LockedStack, OneLockMSQueue, TreiberStack
 from repro.workload.driver import run_ops
+from repro.workload.openloop import (
+    AdmissionQueue,
+    AdmissionSpec,
+    ArrivalSpec,
+    bounded_source,
+    bounded_worker,
+)
 
 __all__ = ["Scenario", "Outcome", "run_scenario", "matrix", "scenario_by_id",
            "SMALL_MATRIX", "FULL_MATRIX", "MUTATION_SCENARIO"]
@@ -76,6 +85,11 @@ class Scenario:
     seed: int = 1            #: think-time seed
     fault: str = "none"      #: "none" | "crash-server"
     max_ops: int = 200       #: combiner MAX_OPS, where applicable
+    #: admission policy in front of each client: "none" keeps the
+    #: classic closed-loop scripts; "drop"/"retry" switch to bounded
+    #: open-loop source/worker pairs (counter only) where shed ops must
+    #: never appear in the linearization
+    admission: str = "none"
     #: sched_point tags this scenario zeroes out (documented protocol
     #: limitations, not bugs -- see module docs)
     no_preempt_tags: FrozenSet[str] = field(default_factory=frozenset)
@@ -171,6 +185,12 @@ def _build_prim(scn: Scenario, machine: Machine, optable: OpTable):
         prim = ShmServer(machine, optable, server_tid=0,
                          client_tids=range(1, n + 1))
         tids = range(1, n + 1)
+    elif scn.algo == "shm-server-cancel":
+        # the withdrawable-request protocol: timed dispatches race the
+        # server for the claim word (see repro.core.shm_server)
+        prim = ShmServer(machine, optable, server_tid=0,
+                         client_tids=range(1, n + 1), cancellable=True)
+        tids = range(1, n + 1)
     elif scn.algo == "HybComb":
         prim = HybComb(machine, optable, max_ops=scn.max_ops)
         tids = range(n)
@@ -213,34 +233,84 @@ def run_scenario(scn: Scenario, policy: Optional[SchedulePolicy] = None,
         prim.start()
         prims.append(prim)
         tickets: List[int] = []
-
-        def script(ctx, thinks):
-            for k in range(scn.ops_each):
-                if ctx.sim.policy is not None:
-                    yield from ctx.sched_point("script.gap")
-                t0 = machine.now
-                v = yield from prim.apply_op(ctx, opcode, 0)
-                history.record(ctx.tid, "inc", None, v, t0, machine.now)
-                tickets.append(v)
-                yield from ctx.work(thinks[k] * think_unit)
-
         ctxs = [machine.thread(t) for t in tids]
-        scripts = [
-            (ctx, script(ctx, [rng.randrange(0, 30) for _ in range(scn.ops_each)]))
-            for ctx in ctxs
-        ]
         spec: SequentialSpec = CounterSpec()
 
-        def check_invariants():
-            total = len(tids) * scn.ops_each
-            if sorted(tickets) != list(range(total)):
-                invariant_err.append(
-                    f"tickets are not a permutation of 0..{total - 1}: "
-                    f"{sorted(tickets)}")
-            final = machine.mem.peek(addr)
-            if final != total:
-                invariant_err.append(
-                    f"final counter {final} != {total} completed ops")
+        if scn.admission == "none":
+            def script(ctx, thinks):
+                for k in range(scn.ops_each):
+                    if ctx.sim.policy is not None:
+                        yield from ctx.sched_point("script.gap")
+                    t0 = machine.now
+                    v = yield from prim.apply_op(ctx, opcode, 0)
+                    history.record(ctx.tid, "inc", None, v, t0, machine.now)
+                    tickets.append(v)
+                    yield from ctx.work(thinks[k] * think_unit)
+
+            scripts = [
+                (ctx, script(ctx, [rng.randrange(0, 30) for _ in range(scn.ops_each)]))
+                for ctx in ctxs
+            ]
+
+            def check_invariants():
+                total = len(tids) * scn.ops_each
+                if sorted(tickets) != list(range(total)):
+                    invariant_err.append(
+                        f"tickets are not a permutation of 0..{total - 1}: "
+                        f"{sorted(tickets)}")
+                final = machine.mem.peek(addr)
+                if final != total:
+                    invariant_err.append(
+                        f"final counter {final} != {total} completed ops")
+        else:
+            # open-loop variant: a bounded source + admission queue +
+            # worker per client.  Shed ops (queue-full or retry-exhausted)
+            # never reach the primitive / never commit, so the recorded
+            # history must linearize and the counter must equal exactly
+            # the completed count -- a shed op appearing anywhere breaks
+            # one of the oracles.
+            adm = _admission_for(scn.admission)
+            arrivals = ArrivalSpec(process="poisson", mean_gap_cycles=150.0)
+            queues: List[AdmissionQueue] = []
+            retry_shed = {"n": 0}
+
+            def on_result(ctx, k, v, t0, t1):
+                history.record(ctx.tid, "inc", None, v, t0, t1)
+                tickets.append(v)
+
+            def on_shed(ctx, k):
+                retry_shed["n"] += 1
+
+            scripts = []
+            for ctx in ctxs:
+                q = AdmissionQueue(machine, ctx.tid, adm.capacity)
+                queues.append(q)
+                src_rng = np.random.default_rng([scn.seed, ctx.tid])
+                scripts.append(
+                    (ctx, bounded_source(ctx, q, arrivals, src_rng,
+                                         scn.ops_each)))
+                scripts.append(
+                    (ctx, bounded_worker(ctx, q, prim, opcode, adm,
+                                         on_result=on_result,
+                                         on_shed=on_shed)))
+
+            def check_invariants():
+                arrivals_total = len(tids) * scn.ops_each
+                completed = len(tickets)
+                shed_total = sum(q.shed for q in queues) + retry_shed["n"]
+                if completed + shed_total != arrivals_total:
+                    invariant_err.append(
+                        f"{completed} completed + {shed_total} shed != "
+                        f"{arrivals_total} arrivals")
+                if sorted(tickets) != list(range(completed)):
+                    invariant_err.append(
+                        f"tickets are not a permutation of 0..{completed - 1}"
+                        f" (a shed op executed?): {sorted(tickets)}")
+                final = machine.mem.peek(addr)
+                if final != completed:
+                    invariant_err.append(
+                        f"final counter {final} != {completed} completed ops "
+                        f"(shed ops must leave no trace)")
 
     elif scn.obj in ("msqueue", "stack", "lcrq", "treiber", "elim", "pool"):
         pushed: List[int] = []
@@ -364,6 +434,19 @@ def _scn(algo: str, obj: str, **kw) -> Scenario:
     return Scenario(sid=f"{algo}/{obj}", algo=algo, obj=obj, **kw)
 
 
+def _admission_for(policy: str) -> AdmissionSpec:
+    """Admission specs the matrix scenarios run under (tight on purpose:
+    a capacity of 2 and a short dispatch deadline make shedding and
+    timed-out dispatches common under forced preemption)."""
+    if policy == "drop":
+        return AdmissionSpec(policy="drop", capacity=2)
+    if policy == "retry":
+        return AdmissionSpec(policy="retry", capacity=2,
+                             dispatch_timeout_cycles=800, max_retries=2,
+                             backoff_base_cycles=64, backoff_cap_cycles=256)
+    raise ValueError(f"unknown admission policy {policy!r}")
+
+
 SMALL_MATRIX: List[Scenario] = [
     _scn("mp-server", "counter", nthreads=4, ops_each=6),
     _scn("shm-server", "counter", nthreads=4, ops_each=6),
@@ -390,6 +473,13 @@ FULL_MATRIX: List[Scenario] = SMALL_MATRIX + [
     Scenario(sid="mp-server-ft/counter@crash", algo="mp-server-ft",
              obj="counter", nthreads=4, ops_each=6, fault="crash-server",
              no_preempt_tags=frozenset({"mp_server.poll", "object.rmw"})),
+    # overload admission under forced preemption: shed ops must never
+    # appear in the linearization (bounded-drop on a combiner, and
+    # timed-dispatch retry racing the cancellable SHM-SERVER's claim CAS)
+    Scenario(sid="HybComb/counter@drop", algo="HybComb", obj="counter",
+             nthreads=4, ops_each=6, max_ops=3, admission="drop"),
+    Scenario(sid="shm-server-cancel/counter@retry", algo="shm-server-cancel",
+             obj="counter", nthreads=4, ops_each=6, admission="retry"),
 ]
 
 #: the seeded-bug scenario of the mutation self-test (never in the

@@ -156,8 +156,12 @@ class UdnFabric:
         self._next_msg_id = 0
         #: total messages delivered (stats)
         self.messages_delivered = 0
-        #: total cycles senders spent blocked on backpressure (stats)
-        self.backpressure_cycles = 0
+        #: cycles each *sender core* spent blocked on backpressure,
+        #: indexed by core id.  Overload blame attribution needs to name
+        #: the congested sender, not just know that congestion existed;
+        #: the machine-global aggregate survives as the
+        #: :attr:`backpressure_cycles` property.
+        self.backpressure_by_core: List[int] = [0] * len(cores)
         #: optional per-message transit-delay jitter (src_node, dst_node,
         #: n_words) -> extra cycles; installed by the fault injector
         self.transit_jitter: Optional[Callable[[int, int, int], int]] = None
@@ -167,6 +171,15 @@ class UdnFabric:
         #: the same stream -- the per-pair FIFO guarantee survives any
         #: policy (used only when ``sim.policy`` is installed).
         self._policy_last_arrival: Dict[Tuple[int, int, int], int] = {}
+
+    @property
+    def backpressure_cycles(self) -> int:
+        """Total cycles all senders spent blocked on backpressure.
+
+        Aggregate view of :attr:`backpressure_by_core`, kept for
+        backward compatibility with pre-existing stats consumers.
+        """
+        return sum(self.backpressure_by_core)
 
     # -- registration -------------------------------------------------------
     def register(self, tid: int, core_id: int, demux: int = 0) -> None:
@@ -236,7 +249,7 @@ class UdnFabric:
                 if exc.cause is timer:
                     waited = self.sim.now - t0
                     core.wait += waited
-                    self.backpressure_cycles += waited
+                    self.backpressure_by_core[core.cid] += waited
                     obs = self.sim.obs
                     if obs is not None:
                         obs.emit("udn.timeout", core=core.cid, op="send",
@@ -251,7 +264,7 @@ class UdnFabric:
         blocked = self.sim.now - t0
         if blocked:
             core.wait += blocked
-            self.backpressure_cycles += blocked
+            self.backpressure_by_core[core.cid] += blocked
         msg_id = self._next_msg_id
         self._next_msg_id += 1
         obs = self.sim.obs

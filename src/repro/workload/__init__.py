@@ -18,6 +18,9 @@ where variance matters).
 * :mod:`repro.workload.metrics` -- the :class:`RunResult` record with
   throughput, latency, fairness, stall breakdowns, combining rate and
   atomic-instruction rates.
+* :mod:`repro.workload.openloop` -- open-loop arrival processes,
+  bounded admission queues with drop/retry/circuit-breaker policies,
+  and the overload-degradation metrics (goodput, p99.9, time-in-SLO).
 * :mod:`repro.workload.scenarios` -- assembled experiments (counter /
   queue / stack / variable-length CS) on any approach; these are the
   entry points the figures and the public quickstart use.
@@ -25,6 +28,13 @@ where variance matters).
 
 from repro.workload.driver import WorkloadSpec, run_workload
 from repro.workload.metrics import RunResult
+from repro.workload.openloop import (
+    AdmissionQueue,
+    AdmissionSpec,
+    ArrivalSpec,
+    OpenLoopSpec,
+    run_openloop_workload,
+)
 from repro.workload.scenarios import (
     APPROACH_BUILDERS,
     run_counter_benchmark,
@@ -35,8 +45,13 @@ from repro.workload.scenarios import (
 
 __all__ = [
     "APPROACH_BUILDERS",
+    "AdmissionQueue",
+    "AdmissionSpec",
+    "ArrivalSpec",
+    "OpenLoopSpec",
     "RunResult",
     "WorkloadSpec",
+    "run_openloop_workload",
     "run_counter_benchmark",
     "run_cs_length_benchmark",
     "run_queue_benchmark",

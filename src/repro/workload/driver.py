@@ -42,6 +42,23 @@ class WorkloadSpec:
     think_max_iterations: int = 50   #: Section 5.2: "at most 50"
     seed: int = 42
 
+    def __post_init__(self) -> None:
+        if self.warmup_cycles < 0:
+            raise ValueError(
+                f"warmup_cycles must be >= 0, got {self.warmup_cycles}")
+        if self.measure_cycles < 1:
+            raise ValueError(
+                "measure_cycles must be >= 1 (an empty measurement window "
+                f"measures nothing), got {self.measure_cycles}")
+        if self.think_max_iterations < 0:
+            raise ValueError(
+                "think_max_iterations must be >= 0 (0 disables think time), "
+                f"got {self.think_max_iterations}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
     @classmethod
     def quick(cls) -> "WorkloadSpec":
         return cls(warmup_cycles=30_000, measure_cycles=120_000)
@@ -108,6 +125,9 @@ def run_workload(
     """
     host_t0 = time.perf_counter()
     host_ev0 = machine.sim.events_processed
+    if not ctxs:
+        raise ValueError("run_workload needs at least one application thread "
+                         "(got an empty ctxs sequence)")
     rng = np.random.default_rng(spec.seed)
     think_unit = machine.cfg.work_cycles_per_iteration
     n = len(ctxs)

@@ -57,6 +57,14 @@ class RunResult:
     failovers: int = 0
     takeovers: int = 0
 
+    #: (cycle, depth) samples of the admission-queue depth over the
+    #: measurement window (open-loop runs only; see
+    #: :mod:`repro.workload.openloop`).  Excluded from determinism
+    #: fingerprints *as a field* so pre-existing closed-loop figures
+    #: hash identically; the depths themselves are deterministic and
+    #: surface in the ``ol.qdepth_*`` extras, which are fingerprinted.
+    queue_depth_series: Optional[List[List[int]]] = None
+
     #: host-side cost of producing this point (wall-clock seconds and
     #: simulator events over the whole run, warm-up included).  Pure
     #: provenance for the host-perf trend in BENCH_*.json -- simulated
@@ -71,6 +79,54 @@ class RunResult:
         if self.host_wall_seconds <= 0:
             return 0.0
         return self.host_events_processed / self.host_wall_seconds
+
+    # -- open-loop / overload metrics (see repro.workload.openloop) -------
+    # These ride in ``extra`` under "ol.*" keys rather than as dataclass
+    # fields so closed-loop figures that never set them keep bit-identical
+    # determinism fingerprints.
+
+    @property
+    def p999_latency_cycles(self) -> float:
+        """p99.9 sojourn latency -- the overload tail p99 smooths over."""
+        val = self.extra.get("ol.p999_latency")
+        if val is not None:
+            return val
+        if self.latency_samples:
+            import numpy as np
+            return float(np.percentile(np.asarray(self.latency_samples), 99.9))
+        return 0.0
+
+    @property
+    def offered_mops(self) -> float:
+        """Open-loop offered load (arrivals/s), 0.0 for closed-loop runs."""
+        return self.extra.get("ol.offered_mops", 0.0)
+
+    @property
+    def goodput_mops(self) -> float:
+        """Admitted-and-completed ops/s.  Equals throughput for
+        closed-loop runs (every op issued is completed)."""
+        return self.extra.get("ol.goodput_mops", self.throughput_mops)
+
+    @property
+    def shed_ops(self) -> int:
+        """Arrivals rejected by the admission policy (never executed)."""
+        return int(self.extra.get("ol.shed", 0))
+
+    @property
+    def dispatch_timeouts(self) -> int:
+        """Timed dispatches that expired pre-commit (retryable)."""
+        return int(self.extra.get("ol.timeouts", 0))
+
+    @property
+    def retries(self) -> int:
+        """Admission retries performed after backoff."""
+        return int(self.extra.get("ol.retries", 0))
+
+    @property
+    def time_in_slo(self) -> Optional[float]:
+        """Fraction of the window inside the latency SLO, or None when
+        the run had no ``slo_cycles`` target."""
+        return self.extra.get("ol.time_in_slo")
 
     @property
     def throughput_mops(self) -> float:
@@ -113,6 +169,15 @@ class RunResult:
                 f"svc={self.service_cycles_per_op:.1f} cyc/op"
                 f" ({self.service_stall_per_op:.1f} stalled)"
             )
+        if "ol.offered_mops" in self.extra:
+            parts.append(f"offered={self.offered_mops:.1f} Mops/s")
+            parts.append(f"goodput={self.goodput_mops:.1f} Mops/s")
+            if self.shed_ops:
+                parts.append(f"shed={self.shed_ops}")
+            if self.dispatch_timeouts:
+                parts.append(f"timeouts={self.dispatch_timeouts}")
+            if self.time_in_slo is not None:
+                parts.append(f"slo={self.time_in_slo:.0%}")
         if self.time_to_recovery_cycles is not None:
             parts.append(f"ttr={self.time_to_recovery_cycles:.0f} cyc")
         if self.ops_retried:

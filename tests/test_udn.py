@@ -491,6 +491,209 @@ def test_timed_operations_reject_nonpositive_timeout():
         m.run()
 
 
+def test_backpressure_accounted_per_sender_core():
+    """Satellite of the overload work: blame attribution needs to know
+    *which* sender core congestion stalled, not just the aggregate."""
+    m = make_machine(udn_buffer_words=4)
+    rcv = m.thread(1)
+    t2, t3 = m.thread(2), m.thread(3)
+    t5 = m.thread(5)  # never blocked: its core must stay at zero
+
+    def filler(ctx):
+        yield from ctx.send(1, [0] * 4)
+
+    def blocked(ctx, delay):
+        yield delay
+        yield from ctx.send(1, [1, 1])
+
+    def free_rider(ctx):
+        yield 10_000  # after the drains: plenty of space, no blocking
+        yield from ctx.send(1, [9])
+
+    def receiver(ctx):
+        yield 5_000
+        got = 0
+        while got < 9:
+            got += len((yield from ctx.receive(1)))
+
+    m.spawn(t2, filler(t2))
+    m.spawn(t2, blocked(t2, 100))
+    m.spawn(t3, blocked(t3, 200))
+    m.spawn(t5, free_rider(t5))
+    m.spawn(rcv, receiver(rcv))
+    m.run()
+    bp = m.udn.backpressure_by_core
+    assert bp[t2.core.cid] > 0
+    assert bp[t3.core.cid] > 0
+    assert bp[t5.core.cid] == 0
+    # the first blocked sender waited longer than the one behind... no:
+    # FIFO grants mean the *earlier* sender unblocks first; both waited
+    # from their arrival until their grant, so earlier arrival => longer
+    assert bp[t2.core.cid] > bp[t3.core.cid] - 200
+    assert m.udn.backpressure_cycles == sum(bp)
+
+
+def _grant_race_machine():
+    """Full buffer whose space frees at an exactly known cycle.
+
+    The receiver drains 4 queued words after an idle wait of D cycles;
+    `receive` charges its fixed cost before releasing buffer space, so
+    the grant lands at exactly D + recv_cost.
+    """
+    m = make_machine(udn_buffer_words=4)
+    D = 2_000
+    grant_at = D + m.cfg.udn_recv_base + m.cfg.udn_recv_per_word * 4
+    return m, D, grant_at
+
+
+def test_space_grant_in_send_timeout_cycle_beats_the_timeout():
+    """The send-side twin of the arrival-beats-timeout rule: buffer space
+    granted in the very cycle the send deadline expires must win."""
+    m, D, grant_at = _grant_race_machine()
+    t0, t1, t2 = m.thread(0), m.thread(1), m.thread(2)
+
+    def filler(ctx):
+        yield from ctx.send(1, [0] * 4)
+
+    def impatient(ctx):
+        yield 100
+        # deadline == grant cycle, to the cycle
+        yield from ctx.send(1, [9, 9], timeout=grant_at - 100)
+        return "sent"
+
+    def receiver(ctx):
+        yield D
+        first = yield from ctx.receive(4)
+        rest = []
+        while len(rest) < 2:
+            rest.extend((yield from ctx.receive(1)))
+        return first, rest
+
+    m.spawn(t0, filler(t0))
+    pi = m.spawn(t2, impatient(t2))
+    pr = m.spawn(t1, receiver(t1))
+    m.run()
+    assert pi.result == "sent"
+    first, rest = pr.result
+    assert first == [0, 0, 0, 0] and rest == [9, 9]
+
+
+def test_send_timeout_one_cycle_before_grant_still_expires():
+    """Boundary partner of the grant-wins test: a deadline one cycle
+    before the grant must time out (nothing sent, nothing reserved)."""
+    from repro.udn import SendTimeout
+
+    m, D, grant_at = _grant_race_machine()
+    t0, t1, t2 = m.thread(0), m.thread(1), m.thread(2)
+
+    def filler(ctx):
+        yield from ctx.send(1, [0] * 4)
+
+    def impatient(ctx):
+        yield 100
+        try:
+            yield from ctx.send(1, [9, 9], timeout=grant_at - 100 - 1)
+        except SendTimeout:
+            return ("timeout", m.now)
+
+    def receiver(ctx):
+        yield D
+        w = yield from ctx.receive(4)
+        yield 2_000
+        empty = yield from ctx.is_queue_empty()
+        return w, empty
+
+    m.spawn(t0, filler(t0))
+    pi = m.spawn(t2, impatient(t2))
+    pr = m.spawn(t1, receiver(t1))
+    m.run()
+    assert pi.result == ("timeout", grant_at - 1)
+    w, empty = pr.result
+    assert w == [0, 0, 0, 0] and empty
+
+
+def test_send_timeout_withdrawal_keeps_fifo_for_later_sender():
+    """A timed-out sender withdrawing from the middle of the reservation
+    queue must not disturb the grant order of the senders behind it."""
+    from repro.udn import SendTimeout
+
+    m = make_machine(udn_buffer_words=4)
+    rcv = m.thread(1)
+    t2, t3, t4 = m.thread(2), m.thread(3), m.thread(4)
+
+    def filler(ctx):
+        yield from ctx.send(1, [0] * 4)
+
+    def impatient(ctx):
+        yield 100
+        try:
+            yield from ctx.send(1, [7, 7], timeout=300)
+        except SendTimeout:
+            return "timeout"
+
+    def patient(ctx):
+        yield 200  # queues *behind* the timed sender
+        yield from ctx.send(1, [8, 8])
+        return m.now
+
+    def receiver(ctx):
+        yield 5_000
+        yield from ctx.receive(4)
+        rest = []
+        while len(rest) < 2:
+            rest.extend((yield from ctx.receive(1)))
+        yield 2_000
+        empty = yield from ctx.is_queue_empty()
+        return rest, empty
+
+    m.spawn(t2, filler(t2))
+    pi = m.spawn(t3, impatient(t3))
+    pp = m.spawn(t4, patient(t4))
+    pr = m.spawn(rcv, receiver(rcv))
+    m.run()
+    assert pi.result == "timeout"
+    assert pp.result > 5_000        # unblocked by the drain, not the withdraw
+    rest, empty = pr.result
+    # only the patient sender's words ever arrive; the withdrawn ones don't
+    assert rest == [8, 8] and empty
+
+
+def test_policy_delayed_arrival_on_deadline_cycle_still_wins():
+    """The explore seam stretches transit; an arrival the policy lands
+    exactly on the receive deadline must still beat the timeout."""
+    from repro.explore.policy import SchedulePolicy
+
+    class FixedDelay(SchedulePolicy):
+        def __init__(self, extra):
+            super().__init__()
+            self.extra = extra
+
+        def _udn_choice(self, src_node, dst_core, demux, n_words, now):
+            return self.extra
+
+    m = make_machine()
+    t0, t1 = m.thread(0), m.thread(1)
+    inject = m.cfg.udn_send_base + m.cfg.udn_send_per_word
+    transit = m.mesh.latency(m.cores[0].node, m.cores[1].node, 1)
+    deadline = 900
+    # sender fires at t=0: undelayed arrival would be inject + transit;
+    # the policy stretches it to land exactly on the deadline cycle
+    m.sim.policy = FixedDelay(deadline - inject - transit)
+
+    def sender(ctx):
+        yield from ctx.send(1, [3])
+
+    def receiver(ctx):
+        w = yield from ctx.receive(1, timeout=deadline)
+        return w, m.now
+
+    m.spawn(t0, sender(t0))
+    p = m.spawn(t1, receiver(t1))
+    m.run()
+    w, t = p.result
+    assert w == [3] and t >= deadline
+
+
 def test_transit_jitter_hook_delays_delivery():
     m = make_machine()
     t0 = m.thread(0)

@@ -125,6 +125,33 @@ def test_service_stats_for_server():
 
 # -- scenario builders ---------------------------------------------------------
 
+@pytest.mark.parametrize("kw", [
+    {"warmup_cycles": -1},
+    {"measure_cycles": 0},
+    {"measure_cycles": -100},
+    {"think_max_iterations": -1},
+    {"seed": -1},
+    {"seed": 1.5},
+    {"seed": "42"},
+    {"seed": True},
+])
+def test_workload_spec_rejects_bad_parameters(kw):
+    with pytest.raises(ValueError):
+        WorkloadSpec(**kw)
+
+
+def test_workload_spec_accepts_boundary_values():
+    spec = WorkloadSpec(warmup_cycles=0, measure_cycles=1,
+                        think_max_iterations=0, seed=0)
+    assert spec.measure_cycles == 1
+
+
+def test_run_workload_rejects_empty_ctxs():
+    m = Machine(tile_gx())
+    with pytest.raises(ValueError, match="at least one"):
+        run_workload(m, [], lambda ctx: None, WorkloadSpec.quick())
+
+
 def test_counter_benchmark_rejects_too_many_threads():
     with pytest.raises(ValueError, match="exceed"):
         run_counter_benchmark("mp-server", 36)
