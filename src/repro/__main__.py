@@ -4,6 +4,9 @@ Subcommands:
 
 * ``info``        -- package, machine profiles, experiment registry
 * ``quickstart``  -- the counter shootout at one concurrency level
+* ``report``      -- run experiments under continuous telemetry and
+  render self-contained HTML dashboards (+ terminal summary); SLO
+  monitors and the flight recorder dump incident bundles on the way
 * ``experiments`` -- forwarded to ``repro.experiments`` (all flags work)
 * ``explore``     -- forwarded to ``repro.explore.cli`` (schedule search)
 """
@@ -11,6 +14,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -53,6 +57,57 @@ def cmd_quickstart(args) -> int:
     return 0
 
 
+def _slos_for(exp_id: str):
+    """Default SLO set monitored by ``report`` for one experiment."""
+    if exp_id == "overload":
+        from repro.experiments.overload import overload_slos
+        return overload_slos()
+    from repro.obs import SLO
+    # closed-loop figures: a loose op-latency objective that healthy
+    # runs satisfy -- a breach here means the run itself went sideways
+    return (SLO("op-p99", kind="latency", target=100_000.0),)
+
+
+def cmd_report(args) -> int:
+    """Run experiments with continuous telemetry; write dashboards."""
+    import repro.obs as obs_mod
+    from repro.analysis.dashboard import render_dashboard_text, write_dashboard
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    exps = args.experiments or ["fig3a", "overload"]
+    unknown = [e for e in exps if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; choose from "
+              f"{sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    # layer flags narrow the default everything-on telemetry stack
+    any_layer = args.timeseries or args.slo or args.flight
+    timeseries = args.timeseries or not any_layer
+    slo = args.slo or not any_layer
+    flight = args.flight or not any_layer
+    for exp_id in exps:
+        incident_dir = (os.path.join(args.out, "incidents", exp_id)
+                        if flight else None)
+        with obs_mod.observed(
+                timeseries=timeseries,
+                sample_every=args.sample_every,
+                slos=_slos_for(exp_id) if slo else (),
+                flight=flight, incident_dir=incident_dir) as session:
+            fig = run_experiment(exp_id, quick=not args.full, jobs=1)
+        title = f"{exp_id}: {fig.title}"
+        print(render_dashboard_text(session, title=title))
+        path = write_dashboard(
+            os.path.join(args.out, f"{exp_id}-dashboard.html"),
+            session, title=title, notes=fig.notes)
+        print(f"[dashboard written to {path}]")
+        dumped = [p for ob in session.machines if ob.flight is not None
+                  for p in ob.flight.paths]
+        if dumped:
+            print(f"[{len(dumped)} incident bundle(s) under "
+                  f"{os.path.join(args.out, 'incidents', exp_id)}]")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # forward `experiments` / `explore` wholesale so their flags keep working
@@ -68,6 +123,25 @@ def main(argv=None) -> int:
     sub.add_parser("info", help="package and registry overview")
     q = sub.add_parser("quickstart", help="counter shootout")
     q.add_argument("threads", nargs="?", type=int, default=20)
+    rep = sub.add_parser(
+        "report",
+        help="run experiments under continuous telemetry and write "
+             "self-contained HTML dashboards (default: fig3a overload)")
+    rep.add_argument("experiments", nargs="*", default=[],
+                     help="experiment ids (default: fig3a overload)")
+    rep.add_argument("--full", action="store_true",
+                     help="use the large windows/sweeps (slow)")
+    rep.add_argument("--out", metavar="DIR", default="report",
+                     help="output directory for dashboards and incident "
+                          "bundles (default: report)")
+    rep.add_argument("--sample-every", type=int, default=512, metavar="CYC",
+                     help="telemetry sample cadence in cycles (default: 512)")
+    rep.add_argument("--timeseries", action="store_true",
+                     help="only the time-series layer (default: all layers)")
+    rep.add_argument("--slo", action="store_true",
+                     help="only SLO monitoring (default: all layers)")
+    rep.add_argument("--flight", action="store_true",
+                     help="only the flight recorder (default: all layers)")
     sub.add_parser("experiments", help="run figure reproductions "
                                        "(see python -m repro.experiments -h)")
     sub.add_parser("explore", help="adversarial schedule search "
@@ -77,6 +151,8 @@ def main(argv=None) -> int:
         return cmd_info(args)
     if args.cmd == "quickstart":
         return cmd_quickstart(args)
+    if args.cmd == "report":
+        return cmd_report(args)
     parser.print_help()
     return 1
 

@@ -1,0 +1,308 @@
+"""Run dashboards: sparkline grids, SLO burn charts, incident lists.
+
+``python -m repro report`` renders one **self-contained HTML file** per
+experiment from the continuous-telemetry layer (DESIGN.md §14): every
+observed machine contributes a grid of per-subsystem sparklines (core
+cycles, cache misses, UDN occupancy/backpressure, NoC flits, admission
+queue depth, goodput), each SLO gets a burn-rate chart with its alert
+threshold and breach/recover markers, and flight-recorder incidents are
+listed with their bundle paths.  Everything is inline SVG + inline CSS
+-- no external scripts, stylesheets, or image fetches -- so the file
+can be archived as a CI artifact and opened offline years later.
+
+:func:`render_dashboard_text` is the terminal twin (unicode block
+sparklines) printed by the CLI so headless runs still get the shape of
+the run at a glance.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "chart_svg",
+    "render_dashboard_html",
+    "render_dashboard_text",
+    "text_sparkline",
+    "write_dashboard",
+]
+
+#: display-only cap on points per chart (charts stay ~1-2 KB each; the
+#: underlying rings already bound memory, this bounds the HTML)
+_MAX_POINTS = 120
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt(v: Optional[float]) -> str:
+    """Compact engineering formatting for chart labels."""
+    if v is None:
+        return "-"
+    a = abs(v)
+    if a >= 1e9:
+        return f"{v / 1e9:.2f}G"
+    if a >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if a >= 1e4:
+        return f"{v / 1e3:.1f}k"
+    if a == int(a):
+        return str(int(a))
+    return f"{v:.2f}"
+
+
+def _thin(points: Sequence[Tuple[int, float]],
+          limit: int = _MAX_POINTS) -> List[Tuple[int, float]]:
+    """Reduce to <= limit points by chunk means (display only)."""
+    n = len(points)
+    if n <= limit:
+        return list(points)
+    out: List[Tuple[int, float]] = []
+    step = (n + limit - 1) // limit
+    for i in range(0, n, step):
+        chunk = points[i:i + step]
+        out.append((chunk[0][0],
+                    sum(v for _, v in chunk) / len(chunk)))
+    return out
+
+
+def chart_svg(points: Sequence[Tuple[int, float]], *,
+              width: int = 260, height: int = 48, color: str = "#2a7ae2",
+              hline: Optional[float] = None,
+              marks: Iterable[Tuple[int, str]] = ()) -> str:
+    """One inline-SVG line chart.
+
+    ``hline`` draws a dashed horizontal reference (SLO threshold);
+    ``marks`` are (cycle, color) vertical event markers (breaches).
+    """
+    pts = _thin(points)
+    marks = list(marks)
+    if not pts:
+        return (f'<svg width="{width}" height="{height}" '
+                f'viewBox="0 0 {width} {height}">'
+                f'<text x="4" y="{height - 6}" class="empty">no samples'
+                f'</text></svg>')
+    xs = [t for t, _ in pts]
+    ys = [v for _, v in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if hline is not None:
+        y_lo, y_hi = min(y_lo, hline), max(y_hi, hline)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_span = max(1, x_hi - x_lo)
+
+    def px(t: int) -> float:
+        return 2 + (width - 4) * (t - x_lo) / x_span
+
+    def py(v: float) -> float:
+        return 2 + (height - 4) * (1.0 - (v - y_lo) / (y_hi - y_lo))
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}">']
+    for t, mcolor in marks:
+        if x_lo <= t <= x_hi:
+            x = px(t)
+            parts.append(f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" '
+                         f'y2="{height}" stroke="{mcolor}" '
+                         f'stroke-width="1.5" opacity="0.8"/>')
+    if hline is not None:
+        y = py(hline)
+        parts.append(f'<line x1="0" y1="{y:.1f}" x2="{width}" y2="{y:.1f}" '
+                     f'stroke="#c0392b" stroke-dasharray="4 3" '
+                     f'stroke-width="1"/>')
+    path = " ".join(f"{px(t):.1f},{py(v):.1f}" for t, v in pts)
+    parts.append(f'<polyline fill="none" stroke="{color}" '
+                 f'stroke-width="1.5" points="{path}"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def text_sparkline(points: Sequence[Tuple[int, float]],
+                   width: int = 40) -> str:
+    """Unicode block sparkline of a series (terminal dashboards)."""
+    pts = _thin(points, width)
+    if not pts:
+        return "(no samples)"
+    ys = [v for _, v in pts]
+    lo, hi = min(ys), max(ys)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(ys)
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int((v - lo) / span * len(_BLOCKS)))]
+        for v in ys)
+
+
+def _series_groups(sampler) -> "List[Tuple[str, List[Any]]]":
+    """Series grouped by subsystem prefix (``core.busy`` -> ``core``)."""
+    groups: Dict[str, List[Any]] = {}
+    for name in sorted(sampler.series):
+        if name.startswith("slo."):
+            continue  # burn series render in the SLO section
+        groups.setdefault(name.split(".", 1)[0], []).append(
+            sampler.series[name])
+    return sorted(groups.items())
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 1.5em auto; max-width: 1180px; color: #1c2833;
+       background: #fafbfc; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin: 0.3em 0; }
+.note { color: #566573; font-size: 0.85em; }
+details { margin: 0.6em 0; background: #fff; border: 1px solid #d5dbdb;
+          border-radius: 6px; padding: 0.4em 0.8em; }
+summary { cursor: pointer; font-weight: 600; }
+.grid { display: grid; gap: 10px;
+        grid-template-columns: repeat(auto-fill, minmax(280px, 1fr)); }
+.card { border: 1px solid #e5e8e8; border-radius: 6px; padding: 6px 8px;
+        background: #fdfefe; }
+.card .name { font-weight: 600; font-size: 0.85em; }
+.card .stats { color: #566573; font-size: 0.78em; }
+.empty { fill: #aab7b8; font-size: 10px; }
+.slo-ok { color: #1e8449; } .slo-bad { color: #c0392b; font-weight: 700; }
+table { border-collapse: collapse; font-size: 0.85em; }
+td, th { border: 1px solid #d5dbdb; padding: 3px 8px; text-align: left; }
+.incident { border-left: 4px solid #c0392b; margin: 0.4em 0;
+            padding: 0.2em 0.6em; background: #fdf2f0; font-size: 0.9em; }
+"""
+
+
+def _html_machine(ob, open_: bool) -> str:
+    """One observed machine as a collapsible dashboard section."""
+    out = [f"<details{' open' if open_ else ''}>"
+           f"<summary>{html.escape(ob.label)}</summary>"]
+    sampler = ob.sampler
+    if sampler is None:
+        out.append('<p class="note">no telemetry sampler on this machine'
+                   "</p></details>")
+        return "".join(out)
+    for prefix, series_list in _series_groups(sampler):
+        out.append(f"<h2>{html.escape(prefix)}</h2>")
+        out.append('<div class="grid">')
+        for ts in series_list:
+            unit = f" {ts.unit}" if ts.unit else ""
+            stats = (f"mean {_fmt(ts.mean())}{unit} &middot; "
+                     f"peak {_fmt(ts.peak())}{unit} &middot; "
+                     f"last {_fmt(ts.last_value)}{unit}")
+            if ts.wraps:
+                stats += f" &middot; wraps {ts.wraps}"
+            out.append(
+                '<div class="card">'
+                f'<div class="name">{html.escape(ts.name)}</div>'
+                f"{chart_svg(ts.points())}"
+                f'<div class="stats">{stats}</div></div>')
+        out.append("</div>")
+    mon = ob.slo
+    if mon is not None and mon.slos:
+        out.append("<h2>SLOs</h2>")
+        out.append('<div class="grid">')
+        marks_by_slo: Dict[str, List[Tuple[int, str]]] = {}
+        for cycle, what, name in mon.events:
+            marks_by_slo.setdefault(name, []).append(
+                (cycle, "#c0392b" if what == "breach" else "#1e8449"))
+        for status in mon.summary():
+            name = status["name"]
+            ts = mon.burn.get(name)
+            cls = "slo-bad" if status["breaches"] else "slo-ok"
+            out.append(
+                '<div class="card">'
+                f'<div class="name {cls}">{html.escape(name)} '
+                f'({status["kind"]} vs {_fmt(status["target"])}) &mdash; '
+                f'{status["breaches"]} breach(es)</div>'
+                f"{chart_svg(ts.points() if ts is not None else [], hline=status['burn_threshold'], marks=marks_by_slo.get(name, ()))}"
+                '<div class="stats">short burn '
+                f'{status["burn_short"]:.2f} &middot; long burn '
+                f'{status["burn_long"]:.2f} &middot; last value '
+                f'{_fmt(status["last_value"])}</div></div>')
+        out.append("</div>")
+    out.append("</details>")
+    return "".join(out)
+
+
+def render_dashboard_html(session, *, title: str,
+                          notes: Sequence[str] = ()) -> str:
+    """The whole observed session as one self-contained HTML page."""
+    machines = list(session.machines)
+    incidents = session.incidents()
+    breaches = session.breaches()
+    body = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="note">{len(machines)} observed machine(s) &middot; '
+        f"{breaches} SLO breach(es) &middot; "
+        f"{len(incidents)} incident(s)</p>",
+    ]
+    for note in notes:
+        body.append(f'<p class="note">note: {html.escape(note)}</p>')
+    if incidents:
+        body.append("<h2>Incidents</h2>")
+        paths: List[str] = []
+        for ob in machines:
+            if ob.flight is not None:
+                paths.extend(ob.flight.paths)
+        for i, inc in enumerate(incidents):
+            where = f" &mdash; <code>{html.escape(paths[i])}</code>" \
+                if i < len(paths) else ""
+            body.append(
+                '<div class="incident">'
+                f'<b>{html.escape(inc["reason"])}</b> at cycle '
+                f'{inc["cycle"]} on {html.escape(inc["label"])}: '
+                f'{html.escape(inc["detail"])}{where}</div>')
+    for i, ob in enumerate(machines):
+        body.append(_html_machine(ob, open_=(i < 2)))
+    body.append("</body></html>")
+    return "\n".join(body)
+
+
+def render_dashboard_text(session, *, title: str,
+                          max_machines: Optional[int] = 4) -> str:
+    """Terminal dashboard: block sparklines + SLO/incident status."""
+    machines = list(session.machines)
+    lines = [f"== {title} ==",
+             f"{len(machines)} machine(s), {session.breaches()} SLO "
+             f"breach(es), {len(session.incidents())} incident(s)"]
+    shown = machines if max_machines is None else machines[:max_machines]
+    for ob in shown:
+        lines.append(f"-- {ob.label}")
+        sampler = ob.sampler
+        if sampler is None:
+            continue
+        for name in sorted(sampler.series):
+            ts = sampler.series[name]
+            unit = f" {ts.unit}" if ts.unit else ""
+            lines.append(
+                f"  {name:<20s} {text_sparkline(ts.points()):<40s} "
+                f"mean {_fmt(ts.mean())}{unit}  peak {_fmt(ts.peak())}{unit}")
+        if ob.slo is not None:
+            for st in ob.slo.summary():
+                flag = "BREACHED" if st["breached"] else (
+                    f'{st["breaches"]} breach(es)' if st["breaches"] else "ok")
+                lines.append(
+                    f'  slo {st["name"]:<16s} [{flag}]  burn '
+                    f'{st["burn_short"]:.2f}/{st["burn_long"]:.2f}  '
+                    f'target {_fmt(st["target"])} last '
+                    f'{_fmt(st["last_value"])}')
+    if max_machines is not None and len(machines) > max_machines:
+        lines.append(f"... {len(machines) - max_machines} more machine(s) "
+                     "in the HTML dashboard")
+    for inc in session.incidents():
+        lines.append(f'  incident: {inc["reason"]} at cycle {inc["cycle"]} '
+                     f'({inc["detail"]}) on {inc["label"]}')
+    return "\n".join(lines)
+
+
+def write_dashboard(path: str, session, *, title: str,
+                    notes: Sequence[str] = ()) -> str:
+    """Render and write the HTML dashboard; returns the path."""
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w") as f:
+        f.write(render_dashboard_html(session, title=title, notes=notes))
+    return path

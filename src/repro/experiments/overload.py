@@ -33,6 +33,7 @@ from repro.core import CCSynch, HybComb, MPServer, OpTable, ShmServer
 from repro.experiments.parallel import point, run_sweep
 from repro.faults import CrashThread, FaultInjector, FaultPlan
 from repro.machine import Machine, tile_gx
+from repro.obs import SLO
 from repro.objects import LockedCounter
 from repro.workload.driver import WorkloadSpec
 from repro.workload.metrics import RunResult
@@ -44,8 +45,8 @@ from repro.workload.openloop import (
 )
 from repro.workload.scenarios import run_counter_benchmark
 
-__all__ = ["APPROACHES", "measure_capacity", "run_overload",
-           "run_overload_point"]
+__all__ = ["APPROACHES", "measure_capacity", "overload_slos",
+           "run_overload", "run_overload_point"]
 
 #: approaches swept (HybComb twice: lease/takeover off and on)
 APPROACHES = ("mp-server", "shm-server", "CC-Synch", "HybComb",
@@ -66,6 +67,27 @@ SLO_CYCLES = 20_000
 #: offered-load multipliers relative to measured capacity
 QUICK_MULTIPLIERS = (0.5, 1.0, 1.2, 1.5, 2.0)
 FULL_MULTIPLIERS = (0.5, 0.75, 1.0, 1.1, 1.2, 1.35, 1.5, 1.75, 2.0)
+
+
+def overload_slos() -> Tuple[SLO, ...]:
+    """The SLOs ``python -m repro report overload`` monitors live.
+
+    They restate the experiment's own acceptance story as objectives:
+    the sojourn SLO the time-in-SLO metric uses, a goodput floor well
+    under every approach's capacity, and the bounded-admission depth
+    ceiling (``QUEUE_CAPACITY`` per client).  Past-capacity unbounded
+    points are *designed* to blow through the latency and depth
+    objectives -- the induced breach exercises the breach -> flight
+    recorder -> incident bundle path on every report run.
+    """
+    return (
+        SLO("sojourn-p99", kind="latency", target=float(SLO_CYCLES),
+            quantile=0.99),
+        SLO("goodput-floor", kind="goodput", target=1.0),
+        SLO("qdepth-bound", kind="qdepth",
+            target=float(QUEUE_CAPACITY * NUM_CLIENTS),
+            metric="admit.qdepth"),
+    )
 
 
 def _build(approach: str, machine: Machine, optable: OpTable,

@@ -30,7 +30,7 @@ from repro.mem.atomics import make_atomics
 from repro.mem.cache import CoherentMemory
 from repro.noc.router import ContendedMesh
 from repro.noc.topology import Mesh
-from repro.sim.engine import Process, Simulator
+from repro.sim.engine import DeadlockError, Process, Simulator
 from repro.udn.udn import UdnFabric
 
 __all__ = ["Machine", "ThreadCtx"]
@@ -70,17 +70,21 @@ class Machine:
         self.obs = _obs.attach(self)
 
     def enable_observability(self, *, trace: bool = False,
-                             trace_limit: int = 500_000, label=None):
+                             trace_limit: int = 500_000, label=None, **options):
         """Turn on the event bus / perf counters for this machine.
 
         Returns the :class:`repro.obs.Observability` handle (idempotent:
         a second call returns the existing one).  ``trace=True`` also
-        records a Chrome/Perfetto trace (see ``obs.export_chrome_trace``).
+        records a Chrome/Perfetto trace (see ``obs.export_chrome_trace``);
+        further options (``timeseries``, ``sample_every``, ``slos``,
+        ``flight``, ``incident_dir``, ...) enable the continuous
+        telemetry layers of DESIGN.md §14.
         """
         if self.obs is None:
             import repro.obs as _obs
             self.obs = _obs.Observability(self, trace=trace,
-                                          trace_limit=trace_limit, label=label)
+                                          trace_limit=trace_limit, label=label,
+                                          **options)
         return self.obs
 
     # -- thread management ----------------------------------------------
@@ -121,7 +125,15 @@ class Machine:
         return list(self._procs_by_tid.get(tid, ()))
 
     def run(self, until: Optional[int] = None) -> None:
-        self.sim.run(until=until)
+        try:
+            self.sim.run(until=until)
+        except DeadlockError as e:
+            # the flight recorder's deadlock trigger: capture the recent
+            # event tail before the exception unwinds the run
+            ob = self.obs
+            if ob is not None and ob.flight is not None:
+                ob.flight.record_incident("deadlock", detail=str(e))
+            raise
 
     @property
     def now(self) -> int:

@@ -37,6 +37,10 @@ class ContendedMesh:
         self.packets_delivered = 0
         #: total cycles packets spent queued at links (stats)
         self.total_link_wait = 0
+        #: total link-busy cycles across all links (the telemetry flit
+        #: gauge: a running aggregate of the per-link ``flit_cycles``
+        #: perf-counter registers, maintained whether or not obs is on)
+        self.total_flit_cycles = 0
 
     def _link(self, a: int, b: int) -> Resource:
         res = self._links.get((a, b))
@@ -62,6 +66,7 @@ class ContendedMesh:
                 yield from link.acquire()
                 wait = self.sim.now - w0
                 self.total_link_wait += wait
+                self.total_flit_cycles += max(occupancy, mesh.per_hop)
                 obs = self.sim.obs
                 if obs is not None:
                     obs.emit("noc.link", a=a, b=b, wait=wait,

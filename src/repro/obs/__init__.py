@@ -1,6 +1,6 @@
-"""Machine-wide observability: event bus, perf counters, trace export.
+"""Machine-wide observability: event bus, counters, traces, telemetry.
 
-Three layers (see DESIGN.md §9):
+Layers (see DESIGN.md §9 and §14):
 
 * :class:`~repro.obs.bus.EventBus` -- the structured event stream every
   hardware model and delegation core publishes to.  Off by default;
@@ -11,40 +11,56 @@ Three layers (see DESIGN.md §9):
 * :class:`~repro.obs.perfetto.TraceCollector` -- Chrome/Perfetto trace
   recording (open the exported ``trace.json`` in
   https://ui.perfetto.dev or ``chrome://tracing``).
+* :class:`~repro.obs.timeseries.Sampler` -- continuous telemetry: the
+  engine clock snapshots counter/gauge sources into fixed-memory ring
+  series every ``sample_every`` cycles (``timeseries=True``).
+* :class:`~repro.obs.slo.SLOMonitor` -- declarative SLOs evaluated per
+  sample window with burn-rate alerting (``slos=(...)``).
+* :class:`~repro.obs.flightrec.FlightRecorder` -- bounded ring of
+  recent events with automatic JSON incident bundles on deadlock,
+  crash, timeout storm, or SLO breach (``flight=True``).
 
 Per machine::
 
     machine = Machine(tile_gx())
-    obs = machine.enable_observability(trace=True)
+    obs = machine.enable_observability(trace=True, timeseries=True)
     ...  # run
     obs.export_chrome_trace("trace.json")
-    obs.counters.snapshot()
+    obs.sampler.series["core.busy"].points()
 
-Across machines (how ``python -m repro.experiments --trace`` observes
-every machine a scenario builds internally)::
+Across machines (how ``python -m repro report`` observes every machine
+a sweep builds internally)::
 
-    with repro.obs.observed(trace=True) as session:
+    with repro.obs.observed(timeseries=True, slos=my_slos) as session:
         result = run_counter_benchmark("mp-server", 10)
-    session.export_chrome_trace("trace.json")
     session.aggregate()  # merged counters across all observed machines
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.bus import EventBus
 from repro.obs.causal import CausalCollector
 from repro.obs.counters import PerfCounters, counters_csv, latency_bucket, merge_counters
+from repro.obs.flightrec import TRIGGERS as flightrec_triggers
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.perfetto import TraceCollector, write_chrome_trace
+from repro.obs.slo import SLO, SLOMonitor
+from repro.obs.timeseries import Sampler, TimeSeries, register_machine_sources
 
 __all__ = [
     "CausalCollector",
     "EventBus",
+    "FlightRecorder",
     "Observability",
     "ObsSession",
     "PerfCounters",
+    "SLO",
+    "SLOMonitor",
+    "Sampler",
+    "TimeSeries",
     "TraceCollector",
     "attach",
     "counters_csv",
@@ -58,11 +74,15 @@ __all__ = [
 
 
 class Observability:
-    """One machine's observability: bus + counters (+ trace collector)."""
+    """One machine's observability: bus + counters (+ optional layers)."""
 
     def __init__(self, machine, *, trace: bool = False,
                  trace_limit: int = 500_000, causal: bool = False,
-                 causal_limit: int = 2_000_000, label: Optional[str] = None):
+                 causal_limit: int = 2_000_000, label: Optional[str] = None,
+                 timeseries: bool = False, sample_every: int = 512,
+                 ts_buckets: int = 256, slos: Sequence[SLO] = (),
+                 flight: bool = False, flight_limit: int = 4096,
+                 incident_dir: Optional[str] = None):
         if machine.sim.obs is not None:
             raise RuntimeError("observability already enabled on this machine")
         self.machine = machine
@@ -80,6 +100,29 @@ class Observability:
         if causal:
             self.causal = CausalCollector(limit=causal_limit)
             self.bus.subscribe(self.causal.on_event)
+        # continuous telemetry (DESIGN.md §14): sampler -> SLOs -> flight
+        self.sampler: Optional[Sampler] = None
+        self.slo: Optional[SLOMonitor] = None
+        self.flight: Optional[FlightRecorder] = None
+        if timeseries or slos:
+            self.sampler = Sampler(machine.sim, every=sample_every,
+                                   buckets=ts_buckets)
+            register_machine_sources(self.sampler, machine, self.counters)
+            machine.sim.set_sample_hook(sample_every, self.sampler.on_tick)
+        if slos:
+            self.slo = SLOMonitor(self, slos)
+            # kind-filtered: the monitor only consumes op completions
+            self.bus.subscribe_kinds(("op.end",), self.slo.on_event)
+            self.sampler.subscribe(self.slo.on_tick)
+        if flight:
+            # the recorder rides the bus's recent-events ring; its
+            # trigger subscription is kind-filtered and registered last,
+            # so a dump triggered by an event (slo.breach, proc.kill)
+            # sees every earlier subscriber's state updated
+            self.flight = FlightRecorder(self, limit=flight_limit,
+                                         out_dir=incident_dir)
+            self.bus.subscribe_kinds(sorted(flightrec_triggers),
+                                     self.flight.on_trigger)
         machine.sim.obs = self.bus
 
     def export_chrome_trace(self, path: str) -> int:
@@ -93,11 +136,22 @@ class ObsSession:
     """Observes every :class:`Machine` constructed while it is active."""
 
     def __init__(self, *, trace: bool = False, trace_limit: int = 500_000,
-                 causal: bool = False, causal_limit: int = 2_000_000):
+                 causal: bool = False, causal_limit: int = 2_000_000,
+                 timeseries: bool = False, sample_every: int = 512,
+                 ts_buckets: int = 256, slos: Sequence[SLO] = (),
+                 flight: bool = False, flight_limit: int = 4096,
+                 incident_dir: Optional[str] = None):
         self.trace = trace
         self.trace_limit = trace_limit
         self.causal = causal
         self.causal_limit = causal_limit
+        self.timeseries = timeseries
+        self.sample_every = sample_every
+        self.ts_buckets = ts_buckets
+        self.slos = tuple(slos)
+        self.flight = flight
+        self.flight_limit = flight_limit
+        self.incident_dir = incident_dir
         self.machines: List[Observability] = []
 
     def register(self, ob: Observability) -> None:
@@ -118,6 +172,19 @@ class ObsSession:
         """The aggregated counters as long-format CSV."""
         return counters_csv(self.aggregate())
 
+    def incidents(self) -> List[Dict[str, Any]]:
+        """Flight-recorder incident bundles across observed machines."""
+        out: List[Dict[str, Any]] = []
+        for ob in self.machines:
+            if ob.flight is not None:
+                out.extend(ob.flight.incidents)
+        return out
+
+    def breaches(self) -> int:
+        """Total SLO breaches across observed machines."""
+        return sum(ob.slo.breaches for ob in self.machines
+                   if ob.slo is not None)
+
     def export_chrome_trace(self, path: str) -> int:
         """Merge every observed machine's trace into one file.
 
@@ -136,14 +203,17 @@ class ObsSession:
 _SESSION: Optional[ObsSession] = None
 
 
-def enable(*, trace: bool = False, trace_limit: int = 500_000,
-           causal: bool = False, causal_limit: int = 2_000_000) -> ObsSession:
-    """Start observing every machine constructed from now on."""
+def enable(**options) -> ObsSession:
+    """Start observing every machine constructed from now on.
+
+    Keyword options are those of :class:`ObsSession` /
+    :class:`Observability`: ``trace``, ``causal``, ``timeseries``,
+    ``sample_every``, ``slos``, ``flight``, ``incident_dir``, ...
+    """
     global _SESSION
     if _SESSION is not None:
         raise RuntimeError("an observability session is already active")
-    _SESSION = ObsSession(trace=trace, trace_limit=trace_limit,
-                          causal=causal, causal_limit=causal_limit)
+    _SESSION = ObsSession(**options)
     return _SESSION
 
 
@@ -154,11 +224,9 @@ def disable() -> None:
 
 
 @contextmanager
-def observed(*, trace: bool = False, trace_limit: int = 500_000,
-             causal: bool = False, causal_limit: int = 2_000_000):
+def observed(**options):
     """``with repro.obs.observed() as session:`` scoped session."""
-    session = enable(trace=trace, trace_limit=trace_limit,
-                     causal=causal, causal_limit=causal_limit)
+    session = enable(**options)
     try:
         yield session
     finally:
@@ -167,11 +235,14 @@ def observed(*, trace: bool = False, trace_limit: int = 500_000,
 
 def attach(machine) -> Optional[Observability]:
     """Machine-constructor hook: join the active session, if any."""
-    if _SESSION is None:
+    s = _SESSION
+    if s is None:
         return None
-    ob = Observability(machine, trace=_SESSION.trace,
-                       trace_limit=_SESSION.trace_limit,
-                       causal=_SESSION.causal,
-                       causal_limit=_SESSION.causal_limit)
-    _SESSION.register(ob)
+    ob = Observability(machine, trace=s.trace, trace_limit=s.trace_limit,
+                       causal=s.causal, causal_limit=s.causal_limit,
+                       timeseries=s.timeseries, sample_every=s.sample_every,
+                       ts_buckets=s.ts_buckets, slos=s.slos,
+                       flight=s.flight, flight_limit=s.flight_limit,
+                       incident_dir=s.incident_dir)
+    s.register(ob)
     return ob

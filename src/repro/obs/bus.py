@@ -81,7 +81,8 @@ execution).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 __all__ = ["EventBus"]
 
@@ -91,13 +92,18 @@ Subscriber = Callable[[int, str, Dict[str, Any]], None]
 class EventBus:
     """Fan-out of structured observability events to subscribers."""
 
-    __slots__ = ("sim", "events_emitted", "_subs")
+    __slots__ = ("sim", "events_emitted", "_subs", "recent",
+                 "_recent_append", "_kind_subs")
 
     def __init__(self, sim):
         self.sim = sim
         #: total events published (cheap health metric)
         self.events_emitted = 0
         self._subs: List[Subscriber] = []
+        #: bounded ring of the most recent events (see :meth:`keep_recent`)
+        self.recent: Optional[deque] = None
+        self._recent_append = None
+        self._kind_subs: Optional[Dict[str, List[Subscriber]]] = None
 
     def subscribe(self, fn: Subscriber) -> None:
         """Register ``fn(cycle, kind, fields)`` for every event."""
@@ -106,9 +112,47 @@ class EventBus:
     def unsubscribe(self, fn: Subscriber) -> None:
         self._subs.remove(fn)
 
+    def subscribe_kinds(self, kinds: Iterable[str], fn: Subscriber) -> None:
+        """Register ``fn`` for the listed kinds only.
+
+        Kind-filtered subscribers cost one dict probe per event instead
+        of a Python call -- the difference between "can leave it on" and
+        "10% tax" for consumers that care about a handful of kinds (SLO
+        monitors want ``op.end``, the flight recorder wants its trigger
+        kinds).  They run *after* every full subscriber, so a filtered
+        handler always observes counter/monitor state already updated
+        for the triggering event.
+        """
+        if self._kind_subs is None:
+            self._kind_subs = {}
+        for kind in kinds:
+            self._kind_subs.setdefault(kind, []).append(fn)
+
+    def keep_recent(self, limit: int) -> deque:
+        """Keep a bounded ring of the last ``limit`` events on the bus.
+
+        The append rides inside :meth:`emit` (a C-level deque append,
+        no extra Python frame), which is what keeps the flight
+        recorder's always-on cost negligible.  Returns the ring.
+        """
+        if limit < 1:
+            raise ValueError(f"event ring limit must be >= 1, got {limit}")
+        self.recent = deque(maxlen=limit)
+        self._recent_append = self.recent.append
+        return self.recent
+
     def emit(self, kind: str, **fields: Any) -> None:
         """Publish one event at the current cycle."""
         self.events_emitted += 1
         t = self.sim.now
+        ra = self._recent_append
+        if ra is not None:
+            ra((t, kind, fields))
         for fn in self._subs:
             fn(t, kind, fields)
+        ks = self._kind_subs
+        if ks is not None:
+            fns = ks.get(kind)
+            if fns is not None:
+                for fn in fns:
+                    fn(t, kind, fields)

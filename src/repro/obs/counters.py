@@ -34,6 +34,15 @@ Register groups
               ``wait``, ``rmr``, op counts) read straight from
               :class:`~repro.machine.core.Core` -- the registers the
               paper's own Figure 4a methodology reads.
+``source``    externally registered scalar sources
+              (:meth:`PerfCounters.register_source`).
+
+Every register group is **baselined at enable time**: the ``hw``
+registers subtract the core snapshots taken when this PerfCounters was
+constructed, and a ``source`` registered mid-run subtracts its value at
+registration.  Without that, observability enabled after warm-up (or a
+source registered after the first snapshot) would fold pre-enable
+totals into the first window's delta -- a garbage baseline.
 
 The event-derived ``stall_*`` registers in ``core`` must always equal
 the ``hw`` stall registers: both are incremented at the same sites with
@@ -44,7 +53,7 @@ double-counting when the accounting is refactored).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict
+from typing import Any, Callable, Dict
 
 __all__ = ["PerfCounters", "counters_csv", "merge_counters", "latency_bucket"]
 
@@ -68,7 +77,7 @@ def merge_counters(into: Dict[str, Any], frm: Dict[str, Any]) -> Dict[str, Any]:
             d = dst.setdefault(key, {})
             for name, v in regs.items():
                 d[name] = d.get(name, 0) + v
-    for group in ("udn_hist", "global"):
+    for group in ("udn_hist", "global", "source"):
         dst = into.setdefault(group, {})
         for key, v in frm.get(group, {}).items():
             dst[key] = dst.get(key, 0) + v
@@ -85,6 +94,24 @@ class PerfCounters:
         self.link = _nested()       # "a->b" -> register -> value
         self.udn_hist: Dict[int, int] = defaultdict(int)
         self.global_: Dict[str, int] = defaultdict(int)
+        # hw registers are reported relative to enable time: without the
+        # baseline, enabling observability mid-run would make the first
+        # delta() include every pre-enable cycle
+        self._hw_base = {c.cid: c.snapshot() for c in machine.cores}
+        self._sources: Dict[str, Callable[[], float]] = {}
+        self._source_base: Dict[str, float] = {}
+
+    def register_source(self, name: str, fn: Callable[[], float]) -> None:
+        """Expose external scalar ``fn()`` as register ``source/<name>``.
+
+        Baselined at registration: the register reads 0 now and tracks
+        increments from here on, so sources registered after a first
+        :meth:`snapshot` still produce correct :meth:`delta` values.
+        """
+        if name in self._sources:
+            raise ValueError(f"source {name!r} already registered")
+        self._sources[name] = fn
+        self._source_base[name] = fn()
 
     # -- event ingestion ----------------------------------------------------
     def on_event(self, t: int, kind: str, f: Dict[str, Any]) -> None:
@@ -182,13 +209,24 @@ class PerfCounters:
     # -- snapshots ----------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict copy of every register, including the core hw ones."""
+        base = self._hw_base
         return {
             "core": {cid: dict(regs) for cid, regs in self.core.items()},
             "line": {ln: dict(regs) for ln, regs in self.line.items()},
             "link": {lk: dict(regs) for lk, regs in self.link.items()},
             "udn_hist": dict(self.udn_hist),
             "global": dict(self.global_),
-            "hw": {c.cid: c.snapshot() for c in self.machine.cores},
+            "hw": {
+                c.cid: {
+                    name: v - base[c.cid][name]
+                    for name, v in c.snapshot().items()
+                }
+                for c in self.machine.cores
+            },
+            "source": {
+                name: fn() - self._source_base[name]
+                for name, fn in self._sources.items()
+            },
         }
 
     def delta(self, since: Dict[str, Any]) -> Dict[str, Any]:
@@ -205,7 +243,7 @@ class PerfCounters:
                 if d:
                     g[key] = d
             out[group] = g
-        for group in ("udn_hist", "global"):
+        for group in ("udn_hist", "global", "source"):
             base = since.get(group, {})
             out[group] = {
                 k: v - base.get(k, 0)
@@ -245,6 +283,8 @@ def counters_csv(agg: Dict[str, Any]) -> str:
         lines.append(f"udn_hist,{k},deliveries,{agg['udn_hist'][k]}")
     for name in sorted(agg.get("global", {})):
         lines.append(f"global,,{name},{agg['global'][name]}")
+    for name in sorted(agg.get("source", {})):
+        lines.append(f"source,,{name},{agg['source'][name]}")
     return "\n".join(lines) + "\n"
 
 

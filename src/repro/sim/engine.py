@@ -405,7 +405,7 @@ class Simulator:
     __slots__ = ("now", "_heap", "_fast", "_seq",
                  "_nevents", "max_events",
                  "detect_deadlock", "_processes", "_corpses", "_current", "obs",
-                 "policy")
+                 "policy", "_sample_due", "_sample_every", "_sample_fn")
 
     def __init__(self, max_events: Optional[int] = None):
         self.now: int = 0
@@ -434,6 +434,13 @@ class Simulator:
         self._processes: set = set()
         self._corpses: List[Generator] = []
         self._current: Optional[Process] = None
+        #: continuous-telemetry sample hook (:mod:`repro.obs.timeseries`).
+        #: ``_sample_due`` is an int sentinel compared against the clock
+        #: wherever it advances; with no hook installed it is ``_NO_CAP``
+        #: and the whole feature costs one integer compare per advance.
+        self._sample_due: int = _NO_CAP
+        self._sample_every: int = 0
+        self._sample_fn: Optional[Callable[[int], None]] = None
 
     # -- public API ------------------------------------------------------
     @property
@@ -476,6 +483,42 @@ class Simulator:
     def call_after(self, delay: int, fn: Callable[[], None]) -> None:
         """Run plain callback ``fn`` after ``delay`` cycles."""
         self.call_at(self.now + delay, fn)
+
+    def set_sample_hook(self, every: int, fn: Callable[[int], None]) -> None:
+        """Call ``fn(cycle)`` whenever the clock crosses an ``every``-cycle
+        boundary (continuous telemetry; see :mod:`repro.obs.timeseries`).
+
+        The hook runs *between* events -- after everything before the
+        boundary has executed, before anything at or past it does -- so
+        it may only observe: it must not touch simulated state or
+        schedule events.  Idle gaps fire the hook once (at the first
+        clock advance past the boundary), not once per skipped period.
+        """
+        if every < 1:
+            raise ValueError(f"sample interval must be >= 1 cycle, got {every}")
+        self._sample_every = every
+        self._sample_fn = fn
+        self._sample_due = self.now - (self.now % every) + every
+
+    def clear_sample_hook(self) -> None:
+        """Remove the sample hook (restores the off-cost: one compare)."""
+        self._sample_every = 0
+        self._sample_fn = None
+        self._sample_due = _NO_CAP
+
+    def _sample_tick(self, now: int) -> None:
+        # out of line from run(): only entered when a sample is due
+        fn = self._sample_fn
+        if fn is None:  # pragma: no cover - defensive (sentinel says due)
+            self._sample_due = _NO_CAP
+            return
+        fn(now)
+        every = self._sample_every
+        due = self._sample_due + every
+        if due <= now:
+            # the clock jumped an idle gap: collapse it to this one sample
+            due = now - (now % every) + every
+        self._sample_due = due
 
     def run(self, until: Optional[int] = None) -> None:
         """Process events until none are pending or ``now`` passes ``until``.
@@ -534,6 +577,8 @@ class Simulator:
                         when = heap[0][0]
                         if when > horizon:
                             self.now = until
+                            if until >= self._sample_due:
+                                self._sample_tick(until)
                             return
                     else:
                         # ---- lane sweep: the hot path --------------------
@@ -621,6 +666,8 @@ class Simulator:
                 if kind != CALLBACK and gen != proc._resume_gen:
                     continue  # stale wakeup (interrupt/kill): drop, clock untouched
                 self.now = now = when
+                if when >= self._sample_due:
+                    self._sample_tick(when)
                 nevents += 1
                 if nevents > max_events:
                     raise RuntimeError(
@@ -673,6 +720,8 @@ class Simulator:
                 self._fast[:0] = rest
         if until is not None and self.now < until:
             self.now = until
+        if self.now >= self._sample_due:
+            self._sample_tick(self.now)
         if self.detect_deadlock:
             blocked = [p for p in self._processes if p.alive and not p.daemon]
             if blocked:

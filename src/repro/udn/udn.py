@@ -181,6 +181,17 @@ class UdnFabric:
         """
         return sum(self.backpressure_by_core)
 
+    def buffer_occupancy_words(self) -> int:
+        """Words currently occupying (or reserved in) receive buffers.
+
+        The UDN-occupancy telemetry gauge: buffer space is reserved at
+        send time and released as words are popped, so this is the
+        chip-wide count of message words in flight or waiting to be
+        received.  O(cores) arithmetic, no queue walking.
+        """
+        cap = self.cfg.udn_buffer_words
+        return sum(cap - b.free_words for b in self._buffers)
+
     # -- registration -------------------------------------------------------
     def register(self, tid: int, core_id: int, demux: int = 0) -> None:
         """Pin thread ``tid``'s receive endpoint to (core, demux queue)."""

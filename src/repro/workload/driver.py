@@ -168,6 +168,17 @@ def run_workload(
         thinks = rng.integers(0, spec.think_max_iterations + 1, size=4096)
         machine.spawn(ctx, app_thread(i, ctx, thinks), name=f"app-{ctx.tid}")
 
+    # continuous telemetry: completed-op counter for the goodput series
+    # (registered only when the observability sampler is enabled); the
+    # run label is set up front so incident bundles dumped mid-run
+    # already carry it
+    if machine.obs is not None:
+        machine.obs.label = f"{name} T={n}"
+    sampler = machine.obs.sampler if machine.obs is not None else None
+    if sampler is not None:
+        sampler.register("goodput", lambda: sum(ops_done), kind="counter",
+                         unit="ops", replace=True)
+
     # warm up, then snapshot and measure
     machine.run(until=spec.warmup_cycles)
     in_window["on"] = True
@@ -286,6 +297,11 @@ def run_workload(
             result.extra["obs.hottest_line"] = float(hot_line)
             result.extra["obs.hottest_line_stall_cycles"] = float(
                 hot.get("stall_cycles", 0))
+
+    # continuous-telemetry summary (excluded from figure fingerprints as
+    # a field, like the host-perf provenance below)
+    if sampler is not None:
+        result.telemetry = sampler.summary()
 
     # host-perf provenance (wall time / engine event rate); see the
     # RunResult field docs -- never feeds back into simulated results

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.core.api import NULL_ARG, DispatchTimeout, SyncPrimitive
 from repro.machine.machine import Machine, ThreadCtx
+from repro.obs.timeseries import TimeSeries
 from repro.sim.resources import Condition
 from repro.workload.metrics import RunResult
 
@@ -493,7 +494,13 @@ def run_openloop_workload(
     slice_completions = [0] * _SLO_SLICES
     slice_violations = [0] * _SLO_SLICES
     slice_depth_max = [0] * _SLO_SLICES
-    depth_series: List[List[int]] = []
+    # the depth record is a shared-layer ring series (DESIGN.md §14), not
+    # an unbounded list: per-bucket sum/count/max compose exactly under
+    # downsample-on-wrap, so the fingerprinted ``ol.qdepth_*`` extras are
+    # identical to the old list-based accounting at any run length
+    depth_ts = TimeSeries("admit.qdepth", kind="gauge", buckets=512,
+                          bucket_cycles=spec.depth_sample_cycles,
+                          t0=window_t0, unit="reqs")
     next_op_id = itertools.count()
 
     def _slice_of(t: int) -> int:
@@ -540,12 +547,15 @@ def run_openloop_workload(
                 if adm.slo_cycles is not None and sojourn > adm.slo_cycles:
                     slice_violations[s] += 1
 
+    def _depth() -> int:
+        return sum(len(q) for q in queues) + prim.inflight
+
     def depth_sampler() -> Generator:
         while True:
             yield spec.depth_sample_cycles
             if in_window["on"]:
-                depth = sum(len(q) for q in queues) + prim.inflight
-                depth_series.append([sim.now, depth])
+                depth = _depth()
+                depth_ts.record(sim.now, depth)
                 s = _slice_of(sim.now)
                 if depth > slice_depth_max[s]:
                     slice_depth_max[s] = depth
@@ -554,6 +564,21 @@ def run_openloop_workload(
         machine.spawn(ctx, source(i, ctx, q), name=f"source-{ctx.tid}")
         machine.spawn(ctx, worker(i, ctx, q), name=f"worker-{ctx.tid}")
     sim.spawn(depth_sampler(), name="qdepth-sampler", daemon=True)
+
+    # continuous telemetry: expose the admission depth and completed-op
+    # count to the machine's sampler (pure observation -- registered only
+    # when an observability session enabled timeseries sampling); the
+    # run label is set up front so incident bundles dumped mid-run
+    # already carry it
+    ob = machine.obs
+    if ob is not None:
+        ob.label = f"{name} T={len(ctxs)}"
+    sampler = ob.sampler if ob is not None else None
+    if sampler is not None:
+        sampler.register("admit.qdepth", _depth, kind="gauge", unit="reqs",
+                         replace=True)
+        sampler.register("goodput", lambda: sum(ops_done), kind="counter",
+                         unit="ops", replace=True)
 
     machine.run(until=spec.warmup_cycles)
     in_window["on"] = True
@@ -600,12 +625,15 @@ def run_openloop_workload(
     result.extra["ol.breaker_trips"] = float(
         counters["breaker_trips"] - counters0["breaker_trips"])
 
-    result.queue_depth_series = depth_series
-    if depth_series:
-        depths = [d for _t, d in depth_series]
-        result.extra["ol.qdepth_max"] = float(max(depths))
-        result.extra["ol.qdepth_mean"] = float(np.mean(depths))
-        result.extra["ol.qdepth_final"] = float(depths[-1])
+    result.queue_depth_series = [[t, v] for t, v in depth_ts.points()]
+    if depth_ts.samples:
+        # exact under any number of ring wraps: max composes, the mean is
+        # total-sum / total-count, and the final value is tracked directly
+        result.extra["ol.qdepth_max"] = float(depth_ts.peak())
+        result.extra["ol.qdepth_mean"] = float(depth_ts.mean())
+        result.extra["ol.qdepth_final"] = float(depth_ts.last_value)
+    if sampler is not None:
+        result.telemetry = sampler.summary()
 
     if adm.slo_cycles is not None:
         # a slice is in-SLO when nothing completed over target in it and

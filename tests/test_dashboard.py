@@ -1,0 +1,157 @@
+"""Dashboard rendering (HTML + terminal) and the `report` CLI."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.analysis.dashboard import (
+    chart_svg,
+    render_dashboard_html,
+    render_dashboard_text,
+    text_sparkline,
+    write_dashboard,
+)
+from repro.obs import SLO
+from repro.workload import WorkloadSpec
+from repro.workload.scenarios import run_counter_benchmark
+
+SPEC = WorkloadSpec(warmup_cycles=5_000, measure_cycles=30_000)
+
+
+@pytest.fixture(scope="module")
+def session():
+    slos = (SLO("p99", kind="latency", target=1e9),
+            SLO("tight", kind="latency", target=1.0))  # guaranteed breach
+    with obs.observed(timeseries=True, sample_every=256, slos=slos,
+                      flight=True) as s:
+        run_counter_benchmark("mp-server", 6, spec=SPEC)
+    return s
+
+
+# -- building blocks -------------------------------------------------------
+
+def test_chart_svg_is_inline_svg():
+    svg = chart_svg([(0, 1.0), (10, 3.0), (20, 2.0)], color="#345",
+                    hline=2.5, marks=((10, "#c00"),))
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "polyline" in svg
+    assert "stroke-dasharray" in svg    # the threshold hline
+    assert "#c00" in svg               # the breach mark
+    assert "http://" not in svg and "https://" not in svg
+
+
+def test_chart_svg_empty_and_flat_series():
+    assert "<svg" in chart_svg([])
+    # a constant series must not divide by zero on the value range
+    assert "<svg" in chart_svg([(0, 5.0), (10, 5.0)])
+
+
+def test_text_sparkline():
+    s = text_sparkline([(i, float(i)) for i in range(8)], width=8)
+    assert len(s) == 8
+    assert s[0] == "▁" and s[-1] == "█"
+    assert text_sparkline([]) == "(no samples)"
+
+
+# -- full renders ----------------------------------------------------------
+
+def test_html_dashboard_is_self_contained(tmp_path, session):
+    html = render_dashboard_html(session, title="unit run",
+                                 notes=("a note",))
+    assert html.lstrip().startswith("<!DOCTYPE html>")
+    assert "unit run" in html and "a note" in html
+    assert "<svg" in html and "<style>" in html
+    # self-contained: no external scripts, stylesheets, or images
+    for needle in ("http://", "https://", "<script src", "<link", "<img"):
+        assert needle not in html
+    # the SLO table shows the induced breach and the healthy objective
+    assert "tight" in html and "p99" in html
+    path = write_dashboard(str(tmp_path / "dash.html"), session,
+                           title="unit run", notes=("a note",))
+    with open(path) as f:
+        assert f.read() == html
+    assert path.endswith("dash.html")
+
+
+def test_text_dashboard_summarises_series_and_slos(session):
+    txt = render_dashboard_text(session, title="unit run")
+    assert "unit run" in txt
+    assert "core.busy" in txt
+    assert any(ch in txt for ch in "▁▂▃▄▅▆▇█")
+    assert "BREACHED" in txt or "breach" in txt.lower()
+
+
+# -- the report CLI --------------------------------------------------------
+
+def _tiny_experiment(quick=True, jobs=None):
+    from repro.analysis.series import FigureData
+    fig = FigureData("tiny", "tiny shootout", "threads", "Mops/s")
+    fig.add_point("mp-server", 4.0,
+                  run_counter_benchmark("mp-server", 4, spec=SPEC))
+    fig.note("stub experiment for CLI tests")
+    return fig
+
+
+def test_report_cli_writes_dashboard(tmp_path, monkeypatch, capsys):
+    import repro.experiments.registry as registry
+    from repro.__main__ import main
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "tiny", _tiny_experiment)
+    out = str(tmp_path / "report")
+    rc = main(["report", "tiny", "--out", out, "--sample-every", "256"])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "tiny shootout" in captured
+    html = (tmp_path / "report" / "tiny-dashboard.html").read_text()
+    assert "<svg" in html and "stub experiment for CLI tests" in html
+
+
+def test_report_cli_rejects_unknown_experiment(capsys):
+    from repro.__main__ import main
+
+    assert main(["report", "no-such-exp"]) == 2
+    assert "no-such-exp" in capsys.readouterr().err
+
+
+def test_report_cli_layer_flag_narrows_stack(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+    from repro.__main__ import main
+
+    seen = {}
+    real_observed = obs.observed
+
+    def spy(**options):
+        seen.update(options)
+        return real_observed(**options)
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "tiny", _tiny_experiment)
+    monkeypatch.setattr("repro.obs.observed", spy)
+    out = str(tmp_path / "r2")
+    assert main(["report", "tiny", "--out", out, "--timeseries"]) == 0
+    assert seen["timeseries"] is True
+    assert seen["slos"] == () and seen["flight"] is False
+
+
+def test_incident_bundles_land_under_out_dir(tmp_path, monkeypatch):
+    from repro.__main__ import main
+    from repro.faults import CrashThread, FaultPlan
+    import repro.experiments.registry as registry
+
+    def crashy(quick=True, jobs=None):
+        from repro.analysis.series import FigureData
+        plan = FaultPlan(seed=1, faults=(
+            CrashThread(tid=3, at_cycle=SPEC.warmup_cycles + 2_000),))
+        fig = FigureData("crashy", "crashy", "threads", "Mops/s")
+        fig.add_point("mp-server", 5.0,
+                      run_counter_benchmark("mp-server", 5, spec=SPEC,
+                                            fault_plan=plan))
+        return fig
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "crashy", crashy)
+    out = tmp_path / "r3"
+    assert main(["report", "crashy", "--out", str(out)]) == 0
+    bundles = list((out / "incidents" / "crashy").glob("incident-*.json"))
+    assert bundles
+    with open(bundles[0]) as f:
+        assert json.load(f)["format"] == 1

@@ -261,3 +261,74 @@ def test_session_aggregate_and_csv():
     assert lines[0] == "scope,id,counter,value"
     assert any(ln.startswith("core,0,atomics,2") for ln in lines)
     assert any(ln.startswith("hw,0,") for ln in lines)
+
+
+# -- enable-time baselining (late enable / late source registration) -------
+
+def test_late_enable_baselines_hw_registers():
+    """Observability enabled mid-run must not fold pre-enable totals
+    into its registers: hw counters read 0 at enable time and track
+    only post-enable work."""
+    m = Machine(tile_gx())
+    table = OpTable()
+    op, a = _counter_body(table, m)
+    prim = CCSynch(m, table)
+
+    def client(ctx, n):
+        for _ in range(n):
+            yield from prim.apply_op(ctx, op, 1)
+
+    # phase 1: unobserved warm-up traffic
+    for t in range(4):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx, 20))
+    m.run()
+    raw_before = {c.cid: c.snapshot() for c in m.cores}
+    assert any(v for regs in raw_before.values() for v in regs.values())
+
+    ob = m.enable_observability()
+    snap0 = ob.counters.snapshot()
+    # at enable time every hw register reads zero, despite phase 1
+    for regs in snap0["hw"].values():
+        assert all(v == 0 for v in regs.values())
+
+    # phase 2: observed traffic (fresh tids; contexts are one-shot)
+    for t in range(4, 8):
+        ctx = m.thread(t)
+        m.spawn(ctx, client(ctx, 20))
+    m.run()
+    snap1 = ob.counters.snapshot()
+    delta = ob.counters.delta(snap0)
+    for cid, regs in snap1["hw"].items():
+        raw = m.cores[cid].snapshot()
+        for name, v in regs.items():
+            # snapshot = raw minus the enable-time baseline...
+            assert v == raw[name] - raw_before[cid][name]
+            # ...and delta(snap0) equals phase-2-only work (cores idle
+            # since the enable are dropped from the delta entirely)
+            assert delta["hw"].get(cid, {}).get(name, 0) == v
+
+
+def test_register_source_baselined_at_registration():
+    m = Machine(tile_gx())
+    ob = m.enable_observability()
+    state = {"v": 1000.0}
+    first = ob.counters.snapshot()          # snapshot BEFORE the source
+    ob.counters.register_source("ops", lambda: state["v"])
+    snap = ob.counters.snapshot()
+    assert snap["source"]["ops"] == 0.0     # registration is the baseline
+    state["v"] = 1007.0
+    later = ob.counters.snapshot()
+    assert later["source"]["ops"] == 7.0
+    # a source registered after `first` still deltas cleanly against it
+    assert ob.counters.delta(first)["source"]["ops"] == 7.0
+    assert ob.counters.delta(snap)["source"]["ops"] == 7.0
+    with pytest.raises(ValueError):
+        ob.counters.register_source("ops", lambda: 0.0)
+    # sources flow through merge + csv like every other register group
+    agg = {}
+    merge_counters(agg, later)
+    merge_counters(agg, later)
+    assert agg["source"]["ops"] == 14.0
+    from repro.obs.counters import counters_csv
+    assert "source,,ops,14.0" in counters_csv(agg)

@@ -150,3 +150,17 @@ def test_combiner_spans_recorded():
         assert cat == "combiner"
         assert dur >= 0
         assert args["prim"] == "CC-Synch"
+
+
+def test_export_with_empty_tracks(tmp_path):
+    """A machine that never ran still exports a valid, loadable trace:
+    process/thread metadata only, no crash on empty per-core tracks."""
+    with obs.observed(trace=True) as session:
+        Machine(tile_gx())
+        path = tmp_path / "empty.json"
+        session.export_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert all(e["ph"] == "M" for e in events)  # metadata records only
+    names = {e["name"] for e in events}
+    assert "process_name" in names  # no threads ran -> no thread tracks
