@@ -10,17 +10,27 @@ when the two records are not comparable (different machine profile
 fingerprint or quick/full mode) -- an incomparable baseline must be
 regenerated deliberately, not skipped silently.
 
-The simulator is deterministic (seeded workloads, no wall-clock in the
-model), so identical code produces identical numbers and the gate has
-no run-to-run noise to absorb; the threshold only leaves headroom for
-intentional small cost-model adjustments.
+The comparison itself is :func:`repro.analysis.diff.diff_records` --
+the same engine behind ``python -m repro diff`` -- gated on
+``throughput_mops``.  The simulator is deterministic (seeded workloads,
+no wall-clock in the model), so identical code produces identical
+numbers and the gate has no run-to-run noise to absorb; the threshold
+only leaves headroom for intentional small cost-model adjustments.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+
+# CI invokes this script directly (no PYTHONPATH=src); make the package
+# importable from the repo checkout it lives in
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.analysis.diff import diff_records, record_from_bench  # noqa: E402
 
 
 def host_perf_summary(record: dict, tag: str) -> None:
@@ -56,31 +66,18 @@ def compare(current: dict, baseline: dict, threshold: float) -> int:
         print("FAIL: quick/full mode mismatch between current and baseline")
         return 1
 
-    failures = []
-    checked = 0
-    for label, base_points in baseline.get("series", {}).items():
-        cur_points = {p["x"]: p for p in
-                      current.get("series", {}).get(label, [])}
-        for bp in base_points:
-            cp = cur_points.get(bp["x"])
-            if cp is None:
-                failures.append(f"{label} x={bp['x']}: point disappeared")
-                continue
-            checked += 1
-            base_t, cur_t = bp["throughput_mops"], cp["throughput_mops"]
-            if base_t > 0 and cur_t < base_t * (1.0 - threshold):
-                failures.append(
-                    f"{label} x={bp['x']}: throughput {cur_t:.2f} Mops/s is "
-                    f"{100 * (1 - cur_t / base_t):.1f}% below baseline "
-                    f"{base_t:.2f}"
-                )
-
-    if failures:
-        print(f"FAIL: {len(failures)} regression(s) past the "
+    # baseline is A, current is B: a "regressed" verdict on a
+    # higher-is-better gate metric means current fell below baseline
+    diff = diff_records(record_from_bench(baseline, label="baseline"),
+                        record_from_bench(current, label="current"),
+                        threshold=threshold, gate=("throughput_mops",))
+    if diff["gate_failures"]:
+        print(f"FAIL: {len(diff['gate_failures'])} regression(s) past the "
               f"{threshold:.0%} gate:")
-        for msg in failures:
+        for msg in diff["gate_failures"]:
             print("  " + msg)
         return 1
+    checked = sum(len(s["points"]) for s in diff["series"])
     print(f"OK: {checked} benchmark points within {threshold:.0%} "
           "of the baseline")
     return 0

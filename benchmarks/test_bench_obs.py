@@ -6,10 +6,12 @@ Runs the same closed-loop counter workload four ways --
   default);
 * ``obs``       -- event bus + perf counters (``--perf``), no
   continuous telemetry;
-* ``sampling``  -- the time-series sampler on top (``timeseries=True``:
-  the engine clock hook + ring-buffer series);
+* ``sampling``  -- the time-series sampler + spatial atlas on top
+  (``timeseries=True, spatial=True``: the engine clock hook,
+  ring-buffer series and the per-link/per-tile congestion counters);
 * ``full``      -- the whole continuous stack ``python -m repro
-  report`` enables: sampling + SLO monitoring + flight recorder
+  report`` enables: sampling + SLO monitoring + flight recorder +
+  spatial atlas with hop-by-hop latency attribution
 
 -- interleaved over :data:`REPS` repetitions, and asserts the
 tentpole's overhead budget on host engine speed: the **marginal cost
@@ -57,8 +59,9 @@ _SLOS = (SLO("op-p99", kind="latency", target=100_000.0),)
 _OPTIONS = {
     "off": None,
     "obs": {},
-    "sampling": dict(timeseries=True, sample_every=512),
-    "full": dict(timeseries=True, sample_every=512, slos=_SLOS, flight=True),
+    "sampling": dict(timeseries=True, sample_every=512, spatial=True),
+    "full": dict(timeseries=True, sample_every=512, slos=_SLOS, flight=True,
+                 spatial=True, spatial_hops=True),
 }
 
 MODES = tuple(_OPTIONS)
@@ -94,11 +97,13 @@ def test_obs_overhead(benchmark, quick):
             assert r.ops == ref.ops, (m, r.ops, ref.ops)
             assert r.per_thread_ops == ref.per_thread_ops, m
             assert r.mean_latency_cycles == ref.mean_latency_cycles, m
-    # the sampled runs actually sampled
+    # the sampled runs actually sampled, and the spatial atlas rode along
     for m in ("sampling", "full"):
         for r in runs[m]:
             assert r.telemetry is not None and r.telemetry["ticks"] > 0
             assert "core.busy" in r.telemetry["series"]
+            spatial = r.telemetry["spatial"]
+            assert spatial["messages"] > 0 and spatial["links"]
     for r in runs["obs"]:
         assert r.telemetry is None
 

@@ -6,7 +6,10 @@ Subcommands:
 * ``quickstart``  -- the counter shootout at one concurrency level
 * ``report``      -- run experiments under continuous telemetry and
   render self-contained HTML dashboards (+ terminal summary); SLO
-  monitors and the flight recorder dump incident bundles on the way
+  monitors and the flight recorder dump incident bundles on the way,
+  and the spatial atlas adds a mesh heatmap / SVG per experiment
+* ``diff``        -- compare two benchmark records (``BENCH_*.json`` or
+  figure JSON) metric by metric; deterministic verdict, optional gate
 * ``experiments`` -- forwarded to ``repro.experiments`` (all flags work)
 * ``explore``     -- forwarded to ``repro.explore.cli`` (schedule search)
 """
@@ -92,7 +95,8 @@ def cmd_report(args) -> int:
                 timeseries=timeseries,
                 sample_every=args.sample_every,
                 slos=_slos_for(exp_id) if slo else (),
-                flight=flight, incident_dir=incident_dir) as session:
+                flight=flight, incident_dir=incident_dir,
+                spatial=True, spatial_hops=True) as session:
             fig = run_experiment(exp_id, quick=not args.full, jobs=1)
         title = f"{exp_id}: {fig.title}"
         print(render_dashboard_text(session, title=title))
@@ -100,11 +104,49 @@ def cmd_report(args) -> int:
             os.path.join(args.out, f"{exp_id}-dashboard.html"),
             session, title=title, notes=fig.notes)
         print(f"[dashboard written to {path}]")
+        spatial = session.spatial_summary()
+        if spatial is not None and spatial.get("tiles"):
+            from repro.analysis.dashboard import write_mesh_svg
+            mesh_path = write_mesh_svg(
+                os.path.join(args.out, f"{exp_id}-mesh.svg"),
+                spatial, title=f"{exp_id}: NoC congestion atlas")
+            print(f"[mesh heatmap written to {mesh_path}]")
         dumped = [p for ob in session.machines if ob.flight is not None
                   for p in ob.flight.paths]
         if dumped:
             print(f"[{len(dumped)} incident bundle(s) under "
                   f"{os.path.join(args.out, 'incidents', exp_id)}]")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Compare two benchmark/figure records; print a structured verdict."""
+    from repro.analysis.diff import (diff_records, diff_to_json, load_record,
+                                     render_diff_text)
+
+    try:
+        a = load_record(args.a)
+        b = load_record(args.b)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    gate = tuple(args.gate) if args.gate else ()
+    diff = diff_records(a, b, threshold=args.threshold, gate=gate)
+    if args.json:
+        print(diff_to_json(diff))
+    else:
+        print(render_diff_text(diff, show_unchanged=args.show_unchanged))
+    if args.html:
+        from repro.analysis.dashboard import render_diff_html
+        d = os.path.dirname(args.html)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(args.html, "w") as f:
+            f.write(render_diff_html(
+                diff, title=f"repro diff: {a['label']} vs {b['label']}"))
+        print(f"[diff page written to {args.html}]", file=sys.stderr)
+    if gate and diff["gate_failures"]:
+        return 1
     return 0
 
 
@@ -142,6 +184,26 @@ def main(argv=None) -> int:
                      help="only SLO monitoring (default: all layers)")
     rep.add_argument("--flight", action="store_true",
                      help="only the flight recorder (default: all layers)")
+    dif = sub.add_parser(
+        "diff",
+        help="compare two benchmark records (BENCH_*.json or figure "
+             "JSON) metric by metric with a deterministic verdict")
+    dif.add_argument("a", metavar="A[:SERIES]",
+                     help="baseline record; append :SERIES to pick one "
+                          "curve of a multi-series benchmark file")
+    dif.add_argument("b", metavar="B[:SERIES]", help="candidate record")
+    dif.add_argument("--threshold", type=float, default=0.05, metavar="FRAC",
+                     help="relative change below which a metric counts as "
+                          "unchanged (default: 0.05)")
+    dif.add_argument("--json", action="store_true",
+                     help="emit the full structured diff as JSON")
+    dif.add_argument("--html", metavar="PATH",
+                     help="also write a side-by-side HTML diff page")
+    dif.add_argument("--gate", action="append", metavar="METRIC",
+                     help="exit 1 if METRIC regressed anywhere (repeatable, "
+                          "e.g. --gate throughput_mops)")
+    dif.add_argument("--show-unchanged", action="store_true",
+                     help="list unchanged metrics too in the text report")
     sub.add_parser("experiments", help="run figure reproductions "
                                        "(see python -m repro.experiments -h)")
     sub.add_parser("explore", help="adversarial schedule search "
@@ -153,6 +215,8 @@ def main(argv=None) -> int:
         return cmd_quickstart(args)
     if args.cmd == "report":
         return cmd_report(args)
+    if args.cmd == "diff":
+        return cmd_diff(args)
     parser.print_help()
     return 1
 

@@ -23,10 +23,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "chart_svg",
+    "mesh_svg",
     "render_dashboard_html",
     "render_dashboard_text",
+    "render_diff_html",
     "text_sparkline",
     "write_dashboard",
+    "write_mesh_svg",
 ]
 
 #: display-only cap on points per chart (charts stay ~1-2 KB each; the
@@ -135,12 +138,121 @@ def text_sparkline(points: Sequence[Tuple[int, float]],
         for v in ys)
 
 
+def _heat_color(frac: float) -> str:
+    """White -> amber -> red ramp for occupancy shares."""
+    f = max(0.0, min(1.0, frac))
+    r = 255
+    g = int(245 - 160 * f)
+    b = int(235 - 200 * f)
+    return f"rgb({r},{g},{b})"
+
+
+def mesh_svg(summary, *, cell: int = 44, gap: int = 14) -> str:
+    """A spatial-atlas summary as one inline-SVG mesh panel.
+
+    Tiles are squares shaded by outbound-occupancy share (red ramp,
+    normalized to the hottest tile); directed links draw as arrows
+    between tile edges with width and color scaled to their share, the
+    two directions of a physical channel offset to opposite sides.
+    Tiles that spent cycles blocked on backpressure get a red border.
+    """
+    if summary is None or not summary.get("tiles"):
+        return ('<svg width="200" height="40" viewBox="0 0 200 40">'
+                '<text x="4" y="24" class="empty">no NoC traffic observed'
+                "</text></svg>")
+    w = summary["mesh"]["width"]
+    h = summary["mesh"]["height"]
+    tiles = summary["tiles"]
+    links = summary["links"]
+    pitch = cell + gap
+    width = w * pitch + gap
+    height = h * pitch + gap + 16
+
+    def center(node: int) -> Tuple[float, float]:
+        x, y = node % w, node // w
+        return gap + x * pitch + cell / 2, gap + y * pitch + cell / 2
+
+    tile_peak = max((e["share"] for e in tiles.values()), default=0.0) or 1.0
+    link_peak = max((e["share"] for e in links.values()), default=0.0) or 1.0
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}">']
+    for node_key, e in tiles.items():
+        node = int(node_key)
+        x, y = node % w, node // w
+        px, py = gap + x * pitch, gap + y * pitch
+        fill = _heat_color(e["share"] / tile_peak)
+        stroke = "#c0392b" if e.get("backpressure") else "#aab7b8"
+        sw = 2 if e.get("backpressure") else 1
+        parts.append(f'<rect x="{px}" y="{py}" width="{cell}" '
+                     f'height="{cell}" rx="4" fill="{fill}" '
+                     f'stroke="{stroke}" stroke-width="{sw}"/>')
+    # idle tiles still draw (faint) so the mesh shape reads correctly
+    for node in range(w * h):
+        if str(node) not in tiles:
+            x, y = node % w, node // w
+            px, py = gap + x * pitch, gap + y * pitch
+            parts.append(f'<rect x="{px}" y="{py}" width="{cell}" '
+                         f'height="{cell}" rx="4" fill="#ffffff" '
+                         f'stroke="#eaeded" stroke-width="1"/>')
+        cx, cy = center(node)
+        parts.append(f'<text x="{cx:.0f}" y="{cy + 3:.0f}" '
+                     f'text-anchor="middle" font-size="9" '
+                     f'fill="#566573">{node}</text>')
+    for key, e in sorted(links.items()):
+        a_s, b_s = key.split(">")
+        a, b = int(a_s), int(b_s)
+        ax, ay = center(a)
+        bx, by = center(b)
+        dx, dy = bx - ax, by - ay
+        n = (dx * dx + dy * dy) ** 0.5 or 1.0
+        ux, uy = dx / n, dy / n
+        # offset the two directions of one channel to opposite sides
+        ox, oy = -uy * 5, ux * 5
+        x1, y1 = ax + ux * cell / 2 + ox, ay + uy * cell / 2 + oy
+        x2, y2 = bx - ux * cell / 2 + ox, by - uy * cell / 2 + oy
+        frac = e["share"] / link_peak
+        swidth = 1.0 + 5.0 * frac
+        color = f"rgb({int(42 + 150 * frac)},{int(122 - 70 * frac)},226)"
+        parts.append(f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                     f'y2="{y2:.1f}" stroke="{color}" '
+                     f'stroke-width="{swidth:.1f}" opacity="0.85"/>')
+        # arrowhead: a short chevron at the head end
+        hx, hy = x2 - ux * 4, y2 - uy * 4
+        parts.append(f'<circle cx="{hx:.1f}" cy="{hy:.1f}" '
+                     f'r="{1.2 + 1.5 * frac:.1f}" fill="{color}"/>')
+    basis = html.escape(str(summary.get("basis", "words")))
+    parts.append(f'<text x="{gap}" y="{height - 4}" font-size="10" '
+                 f'fill="#566573">tile/link shade = {basis} share '
+                 f"(peak tile {tile_peak:.1%}, peak link {link_peak:.1%}); "
+                 "red border = sender backpressure</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_mesh_svg(path: str, summary, *, title: str = "") -> str:
+    """Write one standalone mesh-heatmap SVG file (CI artifact)."""
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    svg = mesh_svg(summary)
+    if title:
+        svg = svg.replace(
+            ">", f'><title>{html.escape(title)}</title>', 1)
+    with open(path, "w") as f:
+        f.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        f.write(svg.replace(
+            "<svg ", '<svg xmlns="http://www.w3.org/2000/svg" ', 1))
+    return path
+
+
 def _series_groups(sampler) -> "List[Tuple[str, List[Any]]]":
     """Series grouped by subsystem prefix (``core.busy`` -> ``core``)."""
     groups: Dict[str, List[Any]] = {}
     for name in sorted(sampler.series):
         if name.startswith("slo."):
             continue  # burn series render in the SLO section
+        if name.startswith("spatial."):
+            continue  # per-link/per-tile rings render as the mesh panel
         groups.setdefault(name.split(".", 1)[0], []).append(
             sampler.series[name])
     return sorted(groups.items())
@@ -183,7 +295,9 @@ def _html_machine(ob, open_: bool) -> str:
         out.append(f"<h2>{html.escape(prefix)}</h2>")
         out.append('<div class="grid">')
         for ts in series_list:
-            unit = f" {ts.unit}" if ts.unit else ""
+            # escape: series units are caller-supplied strings (a custom
+            # source registered with unit='<i>' must not inject markup)
+            unit = f" {html.escape(ts.unit)}" if ts.unit else ""
             stats = (f"mean {_fmt(ts.mean())}{unit} &middot; "
                      f"peak {_fmt(ts.peak())}{unit} &middot; "
                      f"last {_fmt(ts.last_value)}{unit}")
@@ -195,6 +309,17 @@ def _html_machine(ob, open_: bool) -> str:
                 f"{chart_svg(ts.points())}"
                 f'<div class="stats">{stats}</div></div>')
         out.append("</div>")
+    atlas = getattr(ob, "spatial", None)
+    if atlas is not None:
+        s = atlas.summary()
+        if s["messages"] or s["links"]:
+            out.append("<h2>mesh</h2>")
+            out.append(
+                '<div class="card" style="max-width:480px">'
+                f"{mesh_svg(s)}"
+                f'<div class="stats">{s["messages"]} msgs &middot; '
+                f'{s["words"]} words &middot; {len(s["links"])} active '
+                "link(s)</div></div>")
     mon = ob.slo
     if mon is not None and mon.slos:
         out.append("<h2>SLOs</h2>")
@@ -210,7 +335,8 @@ def _html_machine(ob, open_: bool) -> str:
             out.append(
                 '<div class="card">'
                 f'<div class="name {cls}">{html.escape(name)} '
-                f'({status["kind"]} vs {_fmt(status["target"])}) &mdash; '
+                f'({html.escape(str(status["kind"]))} vs '
+                f'{_fmt(status["target"])}) &mdash; '
                 f'{status["breaches"]} breach(es)</div>'
                 f"{chart_svg(ts.points() if ts is not None else [], hline=status['burn_threshold'], marks=marks_by_slo.get(name, ()))}"
                 '<div class="stats">short burn '
@@ -274,11 +400,20 @@ def render_dashboard_text(session, *, title: str,
         if sampler is None:
             continue
         for name in sorted(sampler.series):
+            if name.startswith("spatial."):
+                continue  # the atlas renders as a heatmap, not 100 rows
             ts = sampler.series[name]
             unit = f" {ts.unit}" if ts.unit else ""
             lines.append(
                 f"  {name:<20s} {text_sparkline(ts.points()):<40s} "
                 f"mean {_fmt(ts.mean())}{unit}  peak {_fmt(ts.peak())}{unit}")
+        atlas = getattr(ob, "spatial", None)
+        if atlas is not None:
+            from repro.analysis.render import render_mesh_heatmap
+            s = atlas.summary()
+            if s["messages"] or s["links"]:
+                lines.append("  " + render_mesh_heatmap(
+                    s, top_links=3).rstrip().replace("\n", "\n  "))
         if ob.slo is not None:
             for st in ob.slo.summary():
                 flag = "BREACHED" if st["breached"] else (
@@ -295,6 +430,91 @@ def render_dashboard_text(session, *, title: str,
         lines.append(f'  incident: {inc["reason"]} at cycle {inc["cycle"]} '
                      f'({inc["detail"]}) on {inc["label"]}')
     return "\n".join(lines)
+
+
+_VERDICT_CLS = {"improved": "slo-ok", "regressed": "slo-bad",
+                "changed": "", "unchanged": ""}
+
+
+def render_diff_html(diff: Dict[str, Any], *, title: str) -> str:
+    """A ``repro diff`` verdict as a side-by-side HTML page.
+
+    Same self-contained inline-CSS style as the run dashboards; A and B
+    values sit in adjacent columns with per-metric verdict coloring, so
+    a CI artifact link answers "what moved?" at a glance.
+    """
+    def esc(v: Any) -> str:
+        return html.escape(str(v))
+
+    a, b = diff["a"], diff["b"]
+    c = diff["counts"]
+    body = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+        f'<p class="note">A = {esc(a["label"])} &middot; '
+        f'B = {esc(b["label"])} &middot; threshold '
+        f'&plusmn;{diff["threshold"]:.1%}</p>',
+    ]
+    vcls = _VERDICT_CLS.get(diff["verdict"], "")
+    body.append(f'<p><b class="{vcls}">verdict: {esc(diff["verdict"])}</b> '
+                f'&mdash; {c["improved"]} improved, {c["regressed"]} '
+                f'regressed, {c["changed"]} changed, {c["unchanged"]} '
+                "unchanged</p>")
+    if not diff["comparable"]:
+        body.append('<p class="slo-bad">records not directly comparable '
+                    "(machine-profile fingerprint or quick/full mode "
+                    "differ)</p>")
+    if diff["gate"]:
+        if diff["gate_failures"]:
+            body.append(f'<p class="slo-bad">gate FAIL on '
+                        f'{esc(", ".join(diff["gate"]))}</p><ul>')
+            body.extend(f"<li>{esc(m)}</li>" for m in diff["gate_failures"])
+            body.append("</ul>")
+        else:
+            body.append(f'<p class="slo-ok">gate OK on '
+                        f'{esc(", ".join(diff["gate"]))}</p>')
+    for s in diff["series"]:
+        head = (s["a_label"] if s["a_label"] == s["b_label"]
+                else f'{s["a_label"]} vs {s["b_label"]}')
+        body.append(f"<details open><summary>{esc(head)}</summary>")
+        body.append("<table><tr><th>x</th><th>metric</th><th>A</th>"
+                    "<th>B</th><th>&Delta;</th><th>verdict</th></tr>")
+        for p in s["points"]:
+            for name, m in sorted(p["metrics"].items()):
+                cls = _VERDICT_CLS.get(m["verdict"], "")
+                delta = ("&infin;" if m["delta"] in (float("inf"),
+                                                     float("-inf"))
+                         else f'{m["delta"]:+.1%}')
+                body.append(
+                    f'<tr><td>{p["x"]:g}</td><td>{esc(name)}</td>'
+                    f'<td>{m["a"]:.6g}</td><td>{m["b"]:.6g}</td>'
+                    f'<td>{delta}</td>'
+                    f'<td class="{cls}">{esc(m["verdict"])}</td></tr>')
+        body.append("</table>")
+        for x in s["missing_in_b"]:
+            body.append(f'<p class="slo-bad">x={x:g}: point missing in B'
+                        "</p>")
+        sp_points = [p for p in s["points"]
+                     if p.get("spatial") is not None]
+        for p in sp_points:
+            sp = p["spatial"]
+            movers = ", ".join(
+                f'{esc(m["link"])} {m["move"]:+.1%}'
+                for m in sp["top_movers"][:5]) or "none"
+            body.append(
+                f'<p class="note">x={p["x"]:g} spatial: '
+                f'{sp["total_share_moved"]:.1%} of occupancy share moved '
+                f"({esc(sp['verdict'])}); top movers: {movers}</p>")
+        body.append("</details>")
+    for label in diff["series_only_in_a"]:
+        body.append(f'<p class="note">series only in A: {esc(label)}</p>')
+    for label in diff["series_only_in_b"]:
+        body.append(f'<p class="note">series only in B: {esc(label)}</p>')
+    body.append("</body></html>")
+    return "\n".join(body)
 
 
 def write_dashboard(path: str, session, *, title: str,

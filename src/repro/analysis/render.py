@@ -17,9 +17,11 @@ from repro.workload.metrics import RunResult
 __all__ = ["ascii_chart", "bar_chart", "markdown_table",
            "render_blame_breakdown", "render_cdf", "render_critpath_diff",
            "render_latency_histogram", "render_line_heatmap",
-           "render_stragglers", "to_csv"]
+           "render_mesh_heatmap", "render_stragglers", "to_csv"]
 
 _MARKS = "*o+x#@%&"
+
+_SHADES = " .:-=+*#%@"
 
 
 def ascii_chart(fig: FigureData, metric: Callable[[RunResult], float],
@@ -270,4 +272,46 @@ def to_csv(fig: FigureData, metrics: Dict[str, Callable[[RunResult], float]]) ->
         for x, r in s.points:
             vals = ",".join(f"{fn(r):.4f}" for fn in metrics.values())
             out.write(f"{label},{x:g},{vals}\n")
+    return out.getvalue()
+
+
+def render_mesh_heatmap(summary, *, title: str = "NoC congestion atlas",
+                        top_links: int = 5) -> str:
+    """Terminal mesh heatmap of a spatial atlas summary.
+
+    ``summary`` is a :meth:`repro.obs.spatial.SpatialAtlas.summary`
+    dict (or a session merge).  Tiles render as a shade grid of their
+    outbound-occupancy share (row-major, matching the mesh's node
+    numbering); the hottest directed links are listed underneath, since
+    link direction does not survive a per-tile projection.
+    """
+    out = io.StringIO()
+    if summary is None or not summary.get("tiles"):
+        out.write(f"{title}: no NoC traffic observed\n")
+        return out.getvalue()
+    w = summary["mesh"]["width"]
+    h = summary["mesh"]["height"]
+    basis = summary["basis"]
+    tiles = summary["tiles"]
+    peak = max((e["share"] for e in tiles.values()), default=0.0) or 1.0
+    out.write(f"{title} ({w}x{h} mesh, {summary['messages']} msgs, "
+              f"tile shade = outbound {basis} share)\n")
+    for y in range(h):
+        row = []
+        for x in range(w):
+            e = tiles.get(str(y * w + x))
+            share = e["share"] if e else 0.0
+            shade = _SHADES[min(len(_SHADES) - 1,
+                                int(share / peak * (len(_SHADES) - 1)))]
+            mark = "B" if e and e["backpressure"] else shade
+            row.append(shade * 2 + mark)
+        out.write("  " + " ".join(row) + "\n")
+    out.write(f"  scale: '{_SHADES[0]}' idle .. '{_SHADES[-1]}' "
+              f"{peak:.1%} share; 'B' = sender backpressure on that tile\n")
+    ranked = sorted(summary["links"].items(),
+                    key=lambda kv: (-kv[1]["share"], kv[0]))[:top_links]
+    for key, e in ranked:
+        wait = f", wait {e['wait']} cyc" if e.get("wait") else ""
+        out.write(f"  link {key:>7s} {e['share']:6.1%}  "
+                  f"{e['msgs']} msgs / {e['words']} words{wait}\n")
     return out.getvalue()

@@ -37,6 +37,7 @@ from repro.analysis.render import (
     render_critpath_diff,
     render_latency_histogram,
     render_line_heatmap,
+    render_mesh_heatmap,
     render_stragglers,
     to_csv,
 )
@@ -174,7 +175,8 @@ def main(argv=None) -> int:
         print("note: --perf/--trace/--critpath observe machines in-process; "
               "running serially (ignoring --jobs)")
         args.jobs = 1
-    session = (obs_mod.enable(trace=args.trace, causal=args.critpath)
+    session = (obs_mod.enable(trace=args.trace, causal=args.critpath,
+                              spatial=True, spatial_hops=args.critpath)
                if args.perf else None)
     try:
         for exp_id in ids:
@@ -242,6 +244,29 @@ def _export_obs(session, exp_id: str, out_dir: str, trace: bool) -> None:
     if agg.get("udn_hist"):
         print(render_latency_histogram(agg["udn_hist"],
                                        title=f"{exp_id}: UDN delivery latency"))
+    spatial = session.spatial_summary()
+    if spatial is not None and spatial.get("tiles"):
+        from repro.analysis.dashboard import write_mesh_svg
+        from repro.obs.spatial import causal_link_flows, render_hotspots
+        print(render_mesh_heatmap(spatial,
+                                  title=f"{exp_id}: NoC congestion atlas"))
+        # join link occupancy with the ops that crossed each link; the
+        # causal stream carries the op context, so flows only resolve
+        # under --critpath.  One machine's flows suffice for attribution
+        # (the busiest machine dominates the merged atlas anyway).
+        flows = None
+        traced = [ob for ob in session.machines
+                  if ob.causal is not None and ob.causal.events
+                  and ob.spatial is not None]
+        if traced:
+            busiest = max(traced,
+                          key=lambda ob: ob.spatial.summary()["messages"])
+            flows = causal_link_flows(busiest.spatial, busiest.causal)
+        print(render_hotspots(spatial, k=5, flows=flows))
+        spath = write_mesh_svg(os.path.join(out_dir, f"{exp_id}-mesh.svg"),
+                               spatial,
+                               title=f"{exp_id}: NoC congestion atlas")
+        print(f"[mesh heatmap written to {spath}]")
     mpath = os.path.join(out_dir, f"{exp_id}-metrics.csv")
     with open(mpath, "w") as f:
         f.write(session.metrics_csv())

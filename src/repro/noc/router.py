@@ -49,18 +49,22 @@ class ContendedMesh:
             self._links[(a, b)] = res
         return res
 
-    def transit(self, src: int, dst: int, words: int = 1) -> Generator[Any, Any, int]:
+    def transit(self, src: int, dst: int, words: int = 1,
+                msg_id: Any = None) -> Generator[Any, Any, int]:
         """Move a packet from ``src`` to ``dst``; returns total transit cycles.
 
         Must be driven by a simulator process (``yield from``).  The
         caller decides what "delivery" means (e.g. appending to a UDN
-        buffer) once this generator returns.
+        buffer) once this generator returns.  ``msg_id`` is pure
+        observability: it tags the emitted ``noc.link`` events so the
+        spatial atlas can attribute per-hop queueing back to one UDN
+        message; protocols never read it.
         """
         t0 = self.sim.now
         mesh = self.mesh
         if src != dst:
             occupancy = self.link_occupancy * words
-            for a, b in mesh.links(src, dst):
+            for hop, (a, b) in enumerate(mesh.links(src, dst)):
                 link = self._link(a, b)
                 w0 = self.sim.now
                 yield from link.acquire()
@@ -70,7 +74,8 @@ class ContendedMesh:
                 obs = self.sim.obs
                 if obs is not None:
                     obs.emit("noc.link", a=a, b=b, wait=wait,
-                             busy=max(occupancy, mesh.per_hop))
+                             busy=max(occupancy, mesh.per_hop),
+                             hop=hop, msg_id=msg_id)
                 try:
                     yield mesh.per_hop
                 finally:

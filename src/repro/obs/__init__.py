@@ -19,6 +19,11 @@ Layers (see DESIGN.md §9 and §14):
 * :class:`~repro.obs.flightrec.FlightRecorder` -- bounded ring of
   recent events with automatic JSON incident bundles on deadlock,
   crash, timeout storm, or SLO breach (``flight=True``).
+* :class:`~repro.obs.spatial.SpatialAtlas` -- mesh-shaped congestion
+  atlas: per-link/per-tile traffic, occupancy and backpressure with
+  optional hop-by-hop latency attribution (``spatial=True`` /
+  ``spatial_hops=True``); feeds the heatmap renderers, the hotspot
+  report and ``repro diff``.
 
 Per machine::
 
@@ -48,6 +53,7 @@ from repro.obs.flightrec import TRIGGERS as flightrec_triggers
 from repro.obs.flightrec import FlightRecorder
 from repro.obs.perfetto import TraceCollector, write_chrome_trace
 from repro.obs.slo import SLO, SLOMonitor
+from repro.obs.spatial import SPATIAL_KINDS, SpatialAtlas, merge_spatial_summaries
 from repro.obs.timeseries import Sampler, TimeSeries, register_machine_sources
 
 __all__ = [
@@ -60,6 +66,7 @@ __all__ = [
     "SLO",
     "SLOMonitor",
     "Sampler",
+    "SpatialAtlas",
     "TimeSeries",
     "TraceCollector",
     "attach",
@@ -68,6 +75,7 @@ __all__ = [
     "enable",
     "latency_bucket",
     "merge_counters",
+    "merge_spatial_summaries",
     "observed",
     "write_chrome_trace",
 ]
@@ -82,7 +90,9 @@ class Observability:
                  timeseries: bool = False, sample_every: int = 512,
                  ts_buckets: int = 256, slos: Sequence[SLO] = (),
                  flight: bool = False, flight_limit: int = 4096,
-                 incident_dir: Optional[str] = None):
+                 incident_dir: Optional[str] = None,
+                 spatial: bool = False, spatial_hops: bool = False,
+                 spatial_hop_limit: int = 100_000):
         if machine.sim.obs is not None:
             raise RuntimeError("observability already enabled on this machine")
         self.machine = machine
@@ -100,6 +110,16 @@ class Observability:
         if causal:
             self.causal = CausalCollector(limit=causal_limit)
             self.bus.subscribe(self.causal.on_event)
+        # spatial congestion atlas (DESIGN.md §15): send/deliver totals
+        # are counted inline in the UDN fabric (installed by the atlas
+        # constructor); the bus only carries the rare kinds -- plus
+        # per-message send/deliver when the hop ledger is on
+        self.spatial: Optional[SpatialAtlas] = None
+        if spatial or spatial_hops:
+            self.spatial = SpatialAtlas(machine, hops=spatial_hops,
+                                        hop_limit=spatial_hop_limit)
+            self.bus.subscribe_kinds(self.spatial.bus_kinds(),
+                                     self.spatial.on_event)
         # continuous telemetry (DESIGN.md §14): sampler -> SLOs -> flight
         self.sampler: Optional[Sampler] = None
         self.slo: Optional[SLOMonitor] = None
@@ -109,6 +129,8 @@ class Observability:
                                    buckets=ts_buckets)
             register_machine_sources(self.sampler, machine, self.counters)
             machine.sim.set_sample_hook(sample_every, self.sampler.on_tick)
+            if self.spatial is not None:
+                self.spatial.attach_sampler(self.sampler)
         if slos:
             self.slo = SLOMonitor(self, slos)
             # kind-filtered: the monitor only consumes op completions
@@ -126,10 +148,17 @@ class Observability:
         machine.sim.obs = self.bus
 
     def export_chrome_trace(self, path: str) -> int:
-        """Write this machine's trace as Chrome/Perfetto JSON."""
+        """Write this machine's trace as Chrome/Perfetto JSON.
+
+        Sampled time series (when ``timeseries=True``) ride along as
+        Perfetto counter tracks, so the trace viewer and the HTML
+        dashboard read the same data.
+        """
         if self.trace is None:
             raise RuntimeError("tracing was not enabled; pass trace=True")
-        return write_chrome_trace([(self.label, self.trace)], path)
+        counters = [(self.label, self.sampler)] if self.sampler else []
+        return write_chrome_trace([(self.label, self.trace)], path,
+                                  counters=counters)
 
 
 class ObsSession:
@@ -140,7 +169,9 @@ class ObsSession:
                  timeseries: bool = False, sample_every: int = 512,
                  ts_buckets: int = 256, slos: Sequence[SLO] = (),
                  flight: bool = False, flight_limit: int = 4096,
-                 incident_dir: Optional[str] = None):
+                 incident_dir: Optional[str] = None,
+                 spatial: bool = False, spatial_hops: bool = False,
+                 spatial_hop_limit: int = 100_000):
         self.trace = trace
         self.trace_limit = trace_limit
         self.causal = causal
@@ -152,6 +183,9 @@ class ObsSession:
         self.flight = flight
         self.flight_limit = flight_limit
         self.incident_dir = incident_dir
+        self.spatial = spatial
+        self.spatial_hops = spatial_hops
+        self.spatial_hop_limit = spatial_hop_limit
         self.machines: List[Observability] = []
 
     def register(self, ob: Observability) -> None:
@@ -185,6 +219,24 @@ class ObsSession:
         return sum(ob.slo.breaches for ob in self.machines
                    if ob.slo is not None)
 
+    def spatial_summary(self) -> Optional[Dict[str, Any]]:
+        """Atlas summaries merged across same-shaped observed machines.
+
+        A sweep observes one machine per point; the merged atlas is the
+        whole experiment's congestion picture.  Machines whose mesh
+        shape differs from the first atlas-bearing machine are skipped
+        (summing a 6x6 onto an 8x8 would misplace every tile) -- today
+        every sweep builds same-profile machines, so this is purely
+        defensive.  Returns ``None`` when no machine carried an atlas.
+        """
+        summaries = [ob.spatial.summary() for ob in self.machines
+                     if ob.spatial is not None]
+        if not summaries:
+            return None
+        shape = summaries[0]["mesh"]
+        return merge_spatial_summaries(
+            [s for s in summaries if s["mesh"] == shape])
+
     def export_chrome_trace(self, path: str) -> int:
         """Merge every observed machine's trace into one file.
 
@@ -196,7 +248,9 @@ class ObsSession:
         ]
         if not pairs:
             raise RuntimeError("no traced machines in this session")
-        return write_chrome_trace(pairs, path)
+        counters = [(ob.label, ob.sampler) for ob in self.machines
+                    if ob.trace is not None and ob.sampler is not None]
+        return write_chrome_trace(pairs, path, counters=counters)
 
 
 #: the active session new machines auto-attach to (None = off)
@@ -243,6 +297,8 @@ def attach(machine) -> Optional[Observability]:
                        timeseries=s.timeseries, sample_every=s.sample_every,
                        ts_buckets=s.ts_buckets, slos=s.slos,
                        flight=s.flight, flight_limit=s.flight_limit,
-                       incident_dir=s.incident_dir)
+                       incident_dir=s.incident_dir,
+                       spatial=s.spatial, spatial_hops=s.spatial_hops,
+                       spatial_hop_limit=s.spatial_hop_limit)
     s.register(ob)
     return ob

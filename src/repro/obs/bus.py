@@ -45,7 +45,9 @@ kind                   meaning
 ``udn.recv``           a receive completed (core, tid, words, waited,
                        start)
 ``udn.timeout``        a timed send/receive expired (core, op, waited)
-``noc.link``           a packet occupied one mesh link (a, b, wait, busy)
+``noc.link``           a packet occupied one mesh link (a, b, wait, busy,
+                       hop = index along the route, msg_id = the UDN
+                       message carried, or None for non-UDN packets)
 ``noc.packet``         a packet fully traversed the contended mesh
                        (src, dst, words, cycles)
 ``proc.spawn``         a simulator process started (name)

@@ -29,7 +29,7 @@ import json
 import logging
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["TraceCollector", "write_chrome_trace"]
+__all__ = ["TraceCollector", "counter_events", "write_chrome_trace"]
 
 log = logging.getLogger(__name__)
 
@@ -180,21 +180,56 @@ class TraceCollector:
         return out
 
 
+def counter_events(pid: int, sampler) -> List[Dict[str, Any]]:
+    """A sampler's ring series as Chrome counter-track events (``ph: C``).
+
+    Perfetto renders one counter track per (pid, series name); each
+    bucket of the ring becomes one sample at the bucket's start cycle.
+    The trace viewer thus reads exactly the data the HTML dashboard
+    charts -- same rings, same downsampling.
+    """
+    out: List[Dict[str, Any]] = []
+    for name in sorted(sampler.series):
+        ts = sampler.series[name]
+        label = f"{name} ({ts.unit})" if ts.unit else name
+        for t, v in ts.points():
+            out.append({"name": label, "cat": "telemetry", "ph": "C",
+                        "pid": pid, "tid": 0, "ts": t,
+                        "args": {"value": v}})
+    return out
+
+
 def write_chrome_trace(collectors: Sequence[Tuple[str, TraceCollector]],
-                       path: str) -> int:
+                       path: str,
+                       counters: Sequence[Tuple[str, Any]] = ()) -> int:
     """Write labelled collectors as one Chrome trace JSON file.
 
     Each (label, collector) pair becomes one "process" in the trace, so
     several benchmark runs can be compared side by side in Perfetto.
-    Returns the number of trace events written.
+    ``counters`` pairs labels with :class:`~repro.obs.timeseries.Sampler`
+    instances whose series are emitted as counter tracks on the
+    matching process (labels not matching any collector get their own
+    process).  Returns the number of trace events written.
     """
     events: List[Dict[str, Any]] = []
     dropped = 0
+    pid_of: Dict[str, int] = {}
     for pid, (label, col) in enumerate(collectors):
+        pid_of.setdefault(label, pid)
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "args": {"name": label}})
         events.extend(col.trace_events(pid))
         dropped += col.dropped
+    next_pid = len(collectors)
+    for label, sampler in counters:
+        pid = pid_of.get(label)
+        if pid is None:
+            pid = next_pid
+            next_pid += 1
+            pid_of[label] = pid
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "args": {"name": label}})
+        events.extend(counter_events(pid, sampler))
     other: Dict[str, Any] = {"unit": "simulated cycles"}
     if dropped:
         log.warning("trace %s is truncated: %d events were dropped at the "

@@ -198,7 +198,15 @@ class Sampler:
     def register(self, name: str, fn: Callable[[], float], *,
                  kind: str = "gauge", unit: str = "",
                  replace: bool = False) -> TimeSeries:
-        """Add a source; its series ring starts at the current cycle."""
+        """Add a source; its series ring starts at the current cycle.
+
+        Registering a ``name`` that already exists raises
+        :class:`ValueError` (two sources silently feeding one ring is
+        always a bug) unless ``replace=True``, which discards the old
+        source *and* its recorded series -- the idiom for workload
+        drivers that re-register ``goodput`` per run on a reused
+        machine.
+        """
         if name in self.series:
             if not replace:
                 raise ValueError(f"source {name!r} already registered")
@@ -211,6 +219,22 @@ class Sampler:
         self.series[name] = ts
         self._sources.append(_Source(name, kind, fn))
         return ts
+
+    def remove_source(self, name: str) -> bool:
+        """Stop sampling ``name``; returns whether a source was removed.
+
+        The already-recorded series is **kept** (it still appears in
+        summaries and dashboards -- history does not vanish because its
+        feed went away); only future ticks stop reading the source.
+        Removing a name that was never registered, was already removed,
+        or belongs to an adopted (externally-fed) series is a
+        documented no-op returning ``False`` -- teardown paths may call
+        this unconditionally.
+        """
+        kept = [s for s in self._sources if s.name != name]
+        removed = len(kept) != len(self._sources)
+        self._sources = kept
+        return removed
 
     def adopt(self, ts: TimeSeries) -> TimeSeries:
         """Track an externally-fed series (e.g. SLO burn rates) so it

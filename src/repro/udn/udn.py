@@ -171,6 +171,15 @@ class UdnFabric:
         #: the same stream -- the per-pair FIFO guarantee survives any
         #: policy (used only when ``sim.policy`` is installed).
         self._policy_last_arrival: Dict[Tuple[int, int, int], int] = {}
+        #: spatial-atlas hot-path hooks (see repro.obs.spatial): when an
+        #: atlas is attached these are its accumulator dicts and sends /
+        #: deliveries are counted inline -- one dict update, no Python
+        #: call per event, which is what keeps the atlas inside the
+        #: sampling-overhead budget.  ``None`` (the default) costs one
+        #: attribute load + is-None test per send/deliver.  Pure
+        #: observation: never read by the fabric itself.
+        self.spatial_sends: Optional[Dict[Tuple[int, int], List[int]]] = None
+        self.spatial_delivers: Optional[Dict[int, List[int]]] = None
 
     @property
     def backpressure_cycles(self) -> int:
@@ -278,6 +287,14 @@ class UdnFabric:
             self.backpressure_by_core[core.cid] += blocked
         msg_id = self._next_msg_id
         self._next_msg_id += 1
+        sp = self.spatial_sends
+        if sp is not None:
+            e = sp.get((core.cid, dst_core_id))
+            if e is None:
+                sp[(core.cid, dst_core_id)] = [1, n]
+            else:
+                e[0] += 1
+                e[1] += n
         obs = self.sim.obs
         if obs is not None:
             if blocked:
@@ -323,7 +340,8 @@ class UdnFabric:
     def _contended_delivery(self, src_node: int, dst_core_id: int, demux: int,
                             payload: List[int], sent_at: int,
                             msg_id: Optional[int] = None) -> Generator[Any, Any, None]:
-        yield from self.contended.transit(src_node, self.cores[dst_core_id].node, len(payload))
+        yield from self.contended.transit(src_node, self.cores[dst_core_id].node,
+                                          len(payload), msg_id=msg_id)
         if self.transit_jitter is not None:
             extra = int(self.transit_jitter(src_node, self.cores[dst_core_id].node, len(payload)))
             if extra:
@@ -336,6 +354,17 @@ class UdnFabric:
         q = self._queues[dst_core_id][demux]
         q.words.extend(payload)
         self.messages_delivered += 1
+        sp = self.spatial_delivers
+        if sp is not None:
+            e = sp.get(dst_core_id)
+            lat = self.sim.now - (sent_at if sent_at is not None
+                                  else self.sim.now)
+            if e is None:
+                sp[dst_core_id] = [1, len(payload), lat]
+            else:
+                e[0] += 1
+                e[1] += len(payload)
+                e[2] += lat
         obs = self.sim.obs
         if obs is not None:
             obs.emit("udn.deliver", core=dst_core_id, demux=demux,

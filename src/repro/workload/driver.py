@@ -302,6 +302,10 @@ def run_workload(
     # a field, like the host-perf provenance below)
     if sampler is not None:
         result.telemetry = sampler.summary()
+    if obs is not None and getattr(obs, "spatial", None) is not None:
+        if result.telemetry is None:
+            result.telemetry = {}
+        result.telemetry["spatial"] = obs.spatial.summary()
 
     # host-perf provenance (wall time / engine event rate); see the
     # RunResult field docs -- never feeds back into simulated results

@@ -634,6 +634,10 @@ def run_openloop_workload(
         result.extra["ol.qdepth_final"] = float(depth_ts.last_value)
     if sampler is not None:
         result.telemetry = sampler.summary()
+    if ob is not None and getattr(ob, "spatial", None) is not None:
+        if result.telemetry is None:
+            result.telemetry = {}
+        result.telemetry["spatial"] = ob.spatial.summary()
 
     if adm.slo_cycles is not None:
         # a slice is in-SLO when nothing completed over target in it and

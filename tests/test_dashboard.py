@@ -7,10 +7,13 @@ import pytest
 import repro.obs as obs
 from repro.analysis.dashboard import (
     chart_svg,
+    mesh_svg,
     render_dashboard_html,
     render_dashboard_text,
+    render_diff_html,
     text_sparkline,
     write_dashboard,
+    write_mesh_svg,
 )
 from repro.obs import SLO
 from repro.workload import WorkloadSpec
@@ -80,6 +83,88 @@ def test_text_dashboard_summarises_series_and_slos(session):
     assert "core.busy" in txt
     assert any(ch in txt for ch in "▁▂▃▄▅▆▇█")
     assert "BREACHED" in txt or "breach" in txt.lower()
+
+
+def test_html_dashboard_escapes_untrusted_strings():
+    """Run labels and series units are caller-supplied; a label like
+    ``<script>...`` must render as text, never as markup."""
+    with obs.observed(timeseries=True, sample_every=256) as s:
+        run_counter_benchmark("mp-server", 4, spec=SPEC)
+    ob = s.machines[0]
+    ob.label = '<script>alert(1)</script>'
+    ob.sampler.register('evil', lambda: 1.0, kind="gauge",
+                        unit='<img src=x>')
+    html = render_dashboard_html(s, title="esc")
+    assert "<script>" not in html
+    assert "&lt;script&gt;alert(1)&lt;/script&gt;" in html
+    assert "<img" not in html
+    assert "&lt;img src=x&gt;" in html
+
+
+# -- mesh panels -----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def spatial_session():
+    with obs.observed(timeseries=True, sample_every=256, spatial=True) as s:
+        run_counter_benchmark("mp-server", 6, spec=SPEC)
+    return s
+
+
+def test_mesh_svg_draws_tiles_and_links(spatial_session):
+    s = spatial_session.machines[0].spatial.summary()
+    svg = mesh_svg(s)
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    mesh = s["mesh"]
+    assert svg.count("<rect") == mesh["width"] * mesh["height"]
+    assert svg.count("<line") == len(s["links"])
+    assert "no NoC traffic" in mesh_svg(None)
+    assert "no NoC traffic" in mesh_svg({"tiles": {}})
+
+
+def test_write_mesh_svg_is_a_standalone_file(tmp_path, spatial_session):
+    s = spatial_session.machines[0].spatial.summary()
+    path = write_mesh_svg(str(tmp_path / "sub" / "mesh.svg"), s,
+                          title='<fig3a>')
+    doc = (tmp_path / "sub" / "mesh.svg").read_text()
+    assert path.endswith("mesh.svg")
+    assert doc.startswith('<?xml version="1.0"')
+    assert 'xmlns="http://www.w3.org/2000/svg"' in doc
+    assert "<title>&lt;fig3a&gt;</title>" in doc
+
+
+def test_dashboards_include_the_mesh_panel(spatial_session):
+    html = render_dashboard_html(spatial_session, title="mesh run")
+    assert "<h2>mesh</h2>" in html
+    assert "red border = sender backpressure" in html
+    # per-link rings stay out of the series grid (they render as the mesh)
+    assert "spatial.link." not in html
+    txt = render_dashboard_text(spatial_session, title="mesh run")
+    assert "6x6 mesh" in txt
+    assert "spatial.link." not in txt
+
+
+# -- diff pages ------------------------------------------------------------
+
+def test_render_diff_html_structure_and_escaping():
+    from repro.analysis.diff import diff_records, record_from_bench
+
+    doc = {"figure": "f", "config_fingerprint": "x", "full": False,
+           "series": {"<s>": [{"x": 1, "ops": 100,
+                               "throughput_mops": 10.0}]}}
+    doc2 = json.loads(json.dumps(doc))
+    doc2["series"]["<s>"][0]["throughput_mops"] = 4.0
+    d = diff_records(record_from_bench(doc, label='<a&b>'),
+                     record_from_bench(doc2, label="b"),
+                     gate=("throughput_mops",))
+    page = render_diff_html(d, title="diff <t>")
+    assert page.lstrip().startswith("<!DOCTYPE html>")
+    assert "&lt;a&amp;b&gt;" in page and "<a&b>" not in page
+    assert "&lt;s&gt;" in page and "<s>" not in page
+    assert "diff &lt;t&gt;" in page
+    assert "verdict: regressed" in page
+    assert "gate FAIL" in page
+    for needle in ("http://", "https://", "<script", "<link", "<img"):
+        assert needle not in page
 
 
 # -- the report CLI --------------------------------------------------------

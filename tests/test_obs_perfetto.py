@@ -164,3 +164,63 @@ def test_export_with_empty_tracks(tmp_path):
     assert all(e["ph"] == "M" for e in events)  # metadata records only
     names = {e["name"] for e in events}
     assert "process_name" in names  # no threads ran -> no thread tracks
+
+
+# -- counter tracks --------------------------------------------------------
+
+def test_counter_events_shape():
+    from repro.obs.perfetto import counter_events
+    from repro.obs.timeseries import Sampler
+
+    sampler = Sampler(None, every=10, buckets=8)
+    sampler.register("goodput", lambda: 3.0, kind="gauge", unit="Mops")
+    sampler.register("plain", lambda: 1.0)
+    sampler.on_tick(10)
+    events = counter_events(7, sampler)
+    assert events
+    for e in events:
+        assert e["ph"] == "C" and e["cat"] == "telemetry"
+        assert e["pid"] == 7 and e["tid"] == 0
+        assert set(e["args"]) == {"value"}
+    names = {e["name"] for e in events}
+    assert "goodput (Mops)" in names   # unit folds into the track label
+    assert "plain" in names
+
+
+def test_sampled_series_ride_the_exported_trace(tmp_path):
+    with obs.observed(trace=True, timeseries=True,
+                      sample_every=256) as session:
+        m = _run_mpserver()
+        m.run()
+        path = tmp_path / "trace.json"
+        session.export_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+    assert counters
+    names = {e["name"] for e in counters}
+    assert any(n.startswith("core.busy") for n in names)
+    # counter tracks land on the same pid as the machine's span events
+    span_pids = {e["pid"] for e in doc["traceEvents"]
+                 if e.get("ph") == "X"}
+    assert {e["pid"] for e in counters} <= span_pids
+
+
+def test_unmatched_counter_labels_get_their_own_process(tmp_path):
+    from repro.obs.perfetto import write_chrome_trace
+    from repro.obs.timeseries import Sampler
+
+    col = TraceCollector(num_cores=1)
+    sampler = Sampler(None, every=10, buckets=8)
+    sampler.register("g", lambda: 1.0)
+    sampler.on_tick(10)
+    path = str(tmp_path / "t.json")
+    write_chrome_trace([("run-a", col)], path,
+                       counters=[("run-a", sampler), ("other", sampler)])
+    doc = json.loads((tmp_path / "t.json").read_text())
+    meta = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"}
+    assert meta["run-a"] == 0
+    assert meta["other"] == 1  # fresh pid for the unmatched label
+    counter_pids = {e["pid"] for e in doc["traceEvents"]
+                    if e.get("ph") == "C"}
+    assert counter_pids == {0, 1}

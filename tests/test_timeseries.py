@@ -102,11 +102,53 @@ def test_counter_source_baselined_at_registration():
 def test_register_duplicate_requires_replace():
     sampler = Sampler(None, every=10)
     sampler.register("g", lambda: 1.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="already registered"):
         sampler.register("g", lambda: 2.0)
     sampler.register("g", lambda: 2.0, replace=True)
     sampler.on_tick(10)
     assert sampler.series["g"].last_value == 2.0
+
+
+def test_register_replace_discards_old_series():
+    sampler = Sampler(None, every=10)
+    sampler.register("g", lambda: 1.0)
+    sampler.on_tick(10)
+    old = sampler.series["g"]
+    assert old.last_value == 1.0
+    new = sampler.register("g", lambda: 2.0, replace=True)
+    assert new is not old
+    assert sampler.series["g"] is new
+    assert new.total() == 0.0  # history did not leak across replace
+    sampler.on_tick(20)
+    assert new.last_value == 2.0
+
+
+def test_remove_source_keeps_history_and_reports_removal():
+    sampler = Sampler(None, every=10)
+    sampler.register("g", lambda: 5.0)
+    sampler.on_tick(10)
+    assert sampler.remove_source("g") is True
+    # the recorded series survives for summaries and dashboards ...
+    assert sampler.series["g"].last_value == 5.0
+    assert "g" in sampler.summary()["series"]
+    # ... but future ticks stop reading the source
+    before = sampler.series["g"].points()
+    sampler.on_tick(20)
+    assert sampler.series["g"].points() == before
+    # removing again, or a never-registered name, is a documented no-op
+    assert sampler.remove_source("g") is False
+    assert sampler.remove_source("never") is False
+
+
+def test_remove_source_is_a_noop_for_adopted_series():
+    sampler = Sampler(None, every=10)
+    ts = sampler.adopt(TimeSeries("ext", kind="gauge", buckets=8,
+                                  bucket_cycles=10))
+    assert sampler.remove_source("ext") is False
+    assert sampler.series["ext"] is ts
+    with pytest.raises(ValueError, match="already registered"):
+        sampler.adopt(TimeSeries("ext", kind="gauge", buckets=8,
+                                 bucket_cycles=10))
 
 
 def test_sampler_subscribers_run_after_sources():
