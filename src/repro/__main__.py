@@ -10,6 +10,11 @@ Subcommands:
   and the spatial atlas adds a mesh heatmap / SVG per experiment
 * ``diff``        -- compare two benchmark records (``BENCH_*.json`` or
   figure JSON) metric by metric; deterministic verdict, optional gate
+* ``bench``       -- run one experiment as a host-performance benchmark
+  (wall time + simulator events/sec); ``--profile`` wraps the run in
+  cProfile and prints the hottest functions, which is how the engine-v3
+  hot-path work was located and is the supported way to profile any
+  experiment series
 * ``experiments`` -- forwarded to ``repro.experiments`` (all flags work)
 * ``explore``     -- forwarded to ``repro.explore.cli`` (schedule search)
 """
@@ -119,6 +124,48 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run one experiment for host-perf numbers, optionally profiled."""
+    import time
+
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; choose from "
+              f"{sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    def go():
+        # jobs pinned to 1: the numbers (and the profile) must cover the
+        # work itself, not the idle wait on a pool of worker processes
+        return run_experiment(args.experiment, quick=not args.full, jobs=1)
+
+    prof = None
+    t0 = time.perf_counter()
+    if args.profile:
+        import cProfile
+        prof = cProfile.Profile()
+        fig = prof.runcall(go)
+    else:
+        fig = go()
+    wall = time.perf_counter() - t0
+
+    points = [r for s in fig.series.values() for _x, r in s.points]
+    events = sum(r.host_events_processed for r in points)
+    line = (f"{args.experiment}: {len(points)} points, "
+            f"{events} simulator events in {wall:.2f}s wall")
+    if wall > 0 and events:
+        line += f" ({events / wall / 1e6:.2f}M events/sec)"
+    if args.profile:
+        line += "  [under cProfile: expect ~2x slowdown]"
+    print(line)
+    if prof is not None:
+        import pstats
+        stats = pstats.Stats(prof, stream=sys.stdout)
+        stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def cmd_diff(args) -> int:
     """Compare two benchmark/figure records; print a structured verdict."""
     from repro.analysis.diff import (diff_records, diff_to_json, load_record,
@@ -184,6 +231,22 @@ def main(argv=None) -> int:
                      help="only SLO monitoring (default: all layers)")
     rep.add_argument("--flight", action="store_true",
                      help="only the flight recorder (default: all layers)")
+    ben = sub.add_parser(
+        "bench",
+        help="run one experiment as a host-performance benchmark; "
+             "--profile prints the cProfile hot spots")
+    ben.add_argument("experiment",
+                     help="experiment id (see python -m repro info)")
+    ben.add_argument("--full", action="store_true",
+                     help="use the large windows/sweeps (slow)")
+    ben.add_argument("--profile", action="store_true",
+                     help="run under cProfile and print the top functions")
+    ben.add_argument("--top", type=int, default=25, metavar="N",
+                     help="profile rows to print (default: 25)")
+    ben.add_argument("--sort", choices=("cumulative", "tottime", "ncalls"),
+                     default="tottime",
+                     help="profile sort order (default: tottime -- self "
+                          "time, where the hot loop shows up)")
     dif = sub.add_parser(
         "diff",
         help="compare two benchmark records (BENCH_*.json or figure "
@@ -215,6 +278,8 @@ def main(argv=None) -> int:
         return cmd_quickstart(args)
     if args.cmd == "report":
         return cmd_report(args)
+    if args.cmd == "bench":
+        return cmd_bench(args)
     if args.cmd == "diff":
         return cmd_diff(args)
     parser.print_help()

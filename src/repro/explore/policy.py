@@ -19,11 +19,12 @@ simulator is otherwise deterministic, the trace *is* the schedule:
 feeding it back through :class:`ReplayPolicy` reproduces the exact same
 execution, which is what repro bundles and the shrinker are built on.
 
-Lane permutations only shuffle process resumes (``_SEND``/``_THROW``
-entries); plain callbacks -- model-internal machinery like store-buffer
-drains and message deliveries -- keep their relative order, so a policy
-can never push the *machine model* into a physically impossible state,
-only the threads into a different legal interleaving.
+Lane permutations only shuffle process resumes (entries whose
+``pinned`` attribute is false); plain callbacks -- model-internal
+machinery like store-buffer drains and message deliveries -- are pinned
+and keep their relative order, so a policy can never push the *machine
+model* into a physically impossible state, only the threads into a
+different legal interleaving.
 """
 
 from __future__ import annotations
@@ -39,10 +40,6 @@ __all__ = [
     "BoundedPreemptionPolicy",
     "ReplayPolicy",
 ]
-
-#: lane-entry kind that plain callbacks use (see repro.sim.engine);
-#: entries of this kind are never permuted
-_CALLBACK = 2
 
 Decision = Tuple[str, int]
 
@@ -96,8 +93,10 @@ class SchedulePolicy:
         self.trace.append(("L", choice))
         if choice == 0:
             return entries
-        # permute process resumes only; pin callbacks in place
-        idx = [i for i, e in enumerate(entries) if e[2] != _CALLBACK]
+        # permute process resumes only; pin callbacks in place (lane
+        # entries are scheduler objects exposing ``pinned``; see
+        # repro.sim._engine_core)
+        idx = [i for i, e in enumerate(entries) if not e.pinned]
         if len(idx) < 2:
             return entries
         vals = [entries[i] for i in idx]

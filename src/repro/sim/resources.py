@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Interrupt, Simulator, WaitTimer
 
 __all__ = ["Resource", "Condition", "Semaphore", "Barrier", "Channel"]
 
@@ -73,6 +73,41 @@ class Resource:
         yield ev
         self.total_wait_cycles += self.sim.now - t0
         # the releaser transferred the slot to us; in_use stays balanced
+
+    def acquire_timeout(self, timeout: int) -> Generator[Any, Any, bool]:
+        """Acquire with a deadline: True on success, False on timeout.
+
+        On timeout the queued request is withdrawn (later waiters keep
+        their FIFO positions) and nothing is held.  The race at the
+        deadline cycle is deterministic, with the same rule as UDN
+        receive timeouts: a slot granted in the very cycle the timeout
+        expires wins, because :class:`~repro.sim.engine.WaitTimer` only
+        interrupts a process still genuinely parked after every wakeup
+        already queued for that cycle has landed.
+        """
+        if timeout < 1:
+            raise ValueError("timeout must be >= 1 cycle")
+        if self.in_use < self.capacity and not self._waiters:
+            self.total_acquisitions += 1
+            self.in_use += 1
+            return True
+        ev = Event(self.sim)
+        self._waiters.append(ev)
+        t0 = self.sim.now
+        timer = WaitTimer(self.sim, self.sim.current, self.sim.now + timeout)
+        try:
+            yield ev
+        except Interrupt as exc:
+            if exc.cause is timer:
+                self.total_wait_cycles += self.sim.now - t0
+                self._waiters.remove(ev)
+                return False
+            raise
+        finally:
+            timer.disarm()
+        self.total_acquisitions += 1
+        self.total_wait_cycles += self.sim.now - t0
+        return True
 
     def release(self) -> None:
         if self.in_use <= 0:

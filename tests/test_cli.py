@@ -25,6 +25,25 @@ def test_quickstart_runs_small(capsys):
     assert "mp-server" in out and "Mops/s" in out
 
 
+def test_bench_prints_host_perf(capsys):
+    assert main(["bench", "disc-noc"]) == 0
+    out = capsys.readouterr().out
+    assert "disc-noc:" in out and "wall" in out
+
+
+def test_bench_profile_prints_hot_functions(capsys):
+    assert main(["bench", "disc-noc", "--profile", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "under cProfile" in out
+    assert "tottime" in out  # pstats table header
+    assert "function calls" in out
+
+
+def test_bench_rejects_unknown_experiment(capsys):
+    assert main(["bench", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_experiments_forwarding(capsys):
     assert main(["experiments", "disc-noc"]) == 0
     out = capsys.readouterr().out

@@ -64,18 +64,30 @@ def test_seeded_shuffle_is_deterministic_and_seed_sensitive():
     assert c != a  # different seed, different permutation
 
 
+class _FakeEntry:
+    """Stand-in for an engine lane entry: only ``pinned`` matters here."""
+
+    def __init__(self, i, pinned):
+        self.i = i
+        self.pinned = pinned
+
+    def __repr__(self):
+        return f"e{self.i}{'*' if self.pinned else ''}"
+
+
 def test_reorder_lane_pins_callbacks_in_place():
     """Lane permutation must only move process resumes; model-internal
-    callbacks (kind 2) keep their slots."""
-    _CALLBACK = 2
-    entries = [(0, i, kind, f"e{i}")
-               for i, kind in enumerate([0, _CALLBACK, 1, _CALLBACK, 0, 1])]
+    callbacks (``pinned`` entries) keep their slots."""
+    entries = [_FakeEntry(i, pinned)
+               for i, pinned in enumerate(
+                   [False, True, False, True, False, False])]
     pol = RandomWalkPolicy(seed=7, p_lane=1.0, p_udn=0, p_preempt=0)
     out = pol.reorder_lane(list(entries), now=0)
-    assert sorted(out) == sorted(entries)  # a permutation, nothing lost
+    assert sorted(out, key=id) == sorted(entries, key=id)  # a permutation
     for i, e in enumerate(entries):
-        if e[2] == _CALLBACK:
-            assert out[i] == e, "a callback entry moved"
+        if e.pinned:
+            assert out[i] is e, "a pinned (callback) entry moved"
+    assert out != entries, "seed 7 with p_lane=1 must actually permute"
     assert pol.trace and pol.trace[0][0] == "L" and pol.trace[0][1] != 0
 
 
