@@ -60,14 +60,20 @@ def write_bench_json(fig, filename, *, metrics=None):
     regression gate (``benchmarks/check_regression.py``) refuses to
     compare numbers measured under different cost models, and the
     ``full`` flag so quick and full sweeps never cross-compare either.
+
+    ``metrics`` adds extra per-point columns: a mapping of metric name
+    to ``lambda result: value`` (e.g. the scale benchmark's directory
+    footprint).  Names should have a direction in
+    :mod:`repro.analysis.diff` if they are meant to be gateable.
     """
     from repro.experiments.parallel import resolve_jobs
     from repro.machine.config import tile_gx
 
     series = {}
     for label, s in fig.series.items():
-        series[label] = [
-            {
+        pts = []
+        for x, r in s.points:
+            p = {
                 "x": x,
                 "threads": r.num_threads,
                 "ops": r.ops,
@@ -81,8 +87,11 @@ def write_bench_json(fig, filename, *, metrics=None):
                 "events_processed": r.host_events_processed,
                 "events_per_sec": r.host_events_per_sec,
             }
-            for x, r in s.points
-        ]
+            if metrics:
+                for name, fn in metrics.items():
+                    p[name] = fn(r)
+            pts.append(p)
+        series[label] = pts
     doc = {
         "figure": fig.figure_id,
         "config_fingerprint": tile_gx().fingerprint(),

@@ -1,0 +1,99 @@
+"""Benchmark harness for the big-machine scaling figure (``scale``).
+
+Runs the contended counter on TILE-Gx-calibrated meshes of 36, 64, 256
+and 1024 cores and asserts the shapes the delegation story predicts at
+scale, plus the sparse directory's footprint bounds -- the regression
+the harness exists to catch is directory bookkeeping silently growing
+with the core count instead of the hot working set.
+
+* mp-server stays fastest and essentially *flat* to 1024 cores: one
+  server core saturates regardless of how many clients queue behind the
+  hardware FIFO, and its directory footprint is a single line.
+* mcs-lock is slowest at every size: O(1) RMR local spinning still
+  serializes the critical section over the NoC.
+* Per-line bookkeeping stays bounded at 1024 cores (the sparse sharer
+  set's job); a dense per-line bitmap or python set would grow with the
+  mesh.
+* Delegation footprints (mp-server, HybComb) do not grow with cores at
+  all; the spin-local contenders (CC-Synch, mcs-lock) pay one line per
+  participant but bounded bytes per line.
+
+The emitted ``BENCH_scale.json`` carries deterministic ``footprint_*``
+columns (model-level bytes, identical on every host) gated tightly by
+CI, and ``scale_events_per_sec`` (host speed) gated loosely.
+"""
+
+from benchmarks.conftest import print_figure, run_once, tput, write_bench_json
+from repro.experiments.scale import run_scale
+
+#: extra per-point columns for BENCH_scale.json; the footprint_* names
+#: have lower-is-better directions in repro.analysis.diff, so
+#: ``repro diff --gate footprint_bytes`` catches directory growth
+SCALE_METRICS = {
+    "footprint_bytes": lambda r: r.extra["dir.nominal_bytes"],
+    "footprint_peak_entries": lambda r: r.extra["dir.peak_entries"],
+    "footprint_max_line_bytes": lambda r: r.extra["dir.max_line_bytes"],
+    "scale_events_per_sec": lambda r: r.host_events_per_sec,
+}
+
+
+def test_scale_throughput_and_footprint(benchmark, quick):
+    fig = run_once(benchmark, run_scale, quick=quick)
+    print_figure(fig)
+    write_bench_json(fig, "BENCH_scale.json", metrics=SCALE_METRICS)
+
+    mp = fig.series["mp-server"]
+    hyb = fig.series["HybComb"]
+    cc = fig.series["CC-Synch"]
+    mcs = fig.series["mcs-lock"]
+    sizes = mp.xs()
+    big = max(sizes)
+    assert big == 1024, "scaling sweep must reach the 32x32 mesh"
+
+    # mp-server is the fastest approach at every machine size
+    for x in sizes:
+        for other in (hyb, cc, mcs):
+            y = other.y_at(x, tput)
+            if y is not None:
+                assert mp.y_at(x, tput) >= y * 0.95, (
+                    f"mp-server not fastest at {x} cores"
+                )
+    # ...and flat: the server core is the bottleneck, not the mesh
+    ys = mp.ys(tput)
+    assert min(ys) >= 0.8 * max(ys), "mp-server throughput not flat vs cores"
+
+    # the classic scalable lock is the floor at every size
+    for x in sizes:
+        for other in (mp, hyb, cc):
+            y = other.y_at(x, tput)
+            if y is not None:
+                assert mcs.y_at(x, tput) <= y * 1.05, (
+                    f"mcs-lock not slowest at {x} cores"
+                )
+
+    foot = lambda r: r.extra["dir.nominal_bytes"]
+    maxline = lambda r: r.extra["dir.max_line_bytes"]
+
+    # delegation footprint does not grow with the machine: the server's
+    # working set is the object, not the clients
+    for s in (mp, hyb):
+        assert s.y_at(big, foot) <= 2.0 * s.y_at(min(sizes), foot), (
+            f"{s.label}: delegation directory footprint grew with cores"
+        )
+    # mp-server's whole directory is a single line's worth of state
+    assert mp.y_at(big, foot) <= 512
+
+    # per-line bookkeeping is bounded at 1024 cores -- the sparse sharer
+    # set must not cost O(cores) per line the way a dense set would
+    for s in (mp, hyb, cc, mcs):
+        assert s.y_at(big, maxline) <= 256, (
+            f"{s.label}: per-line bytes grew with the mesh"
+        )
+
+    # spin-local contenders pay one line per participant (inherent to
+    # local spinning) but no more: total bytes stay O(cores)
+    for s in (cc, mcs):
+        per_core = s.y_at(big, foot) / big
+        assert per_core <= 256, (
+            f"{s.label}: directory bytes per core {per_core:.0f} too high"
+        )

@@ -203,6 +203,11 @@ def main(argv=None) -> int:
     if argv and argv[0] == "experiments":
         from repro.experiments.registry import main as exp_main
         return exp_main(argv[1:])
+    if argv and argv[0] == "run":
+        # `python -m repro run scale` -- alias for `experiments`, reading
+        # the way the quickstart docs phrase it
+        from repro.experiments.registry import main as exp_main
+        return exp_main(argv[1:])
     if argv and argv[0] == "explore":
         from repro.explore.cli import main as explore_main
         return explore_main(argv[1:])
@@ -269,6 +274,8 @@ def main(argv=None) -> int:
                      help="list unchanged metrics too in the text report")
     sub.add_parser("experiments", help="run figure reproductions "
                                        "(see python -m repro.experiments -h)")
+    sub.add_parser("run", help="alias for `experiments` "
+                               "(e.g. python -m repro run scale)")
     sub.add_parser("explore", help="adversarial schedule search "
                                    "(see python -m repro explore -h)")
     args = parser.parse_args(argv)

@@ -68,6 +68,19 @@ _DIRECTION: Dict[str, int] = {
     "wall_seconds": 0,
     "events_processed": 0,
     "events_per_sec": 0,
+    # sparse-directory footprint (BENCH_scale): deterministic
+    # model-level bytes, growth is a regression
+    "footprint_bytes": -1,
+    "footprint_peak_entries": -1,
+    "footprint_max_line_bytes": -1,
+    "dir.nominal_bytes": -1,
+    "dir.peak_entries": -1,
+    "dir.max_line_bytes": -1,
+    "dir.entries": 0,
+    # host events/sec re-published under a gateable name by BENCH_scale
+    # (the generic events_per_sec above stays informational); gated with
+    # a generous threshold since it measures the CI host too
+    "scale_events_per_sec": 1,
 }
 
 #: substring heuristics for metrics not in the explicit table (extras

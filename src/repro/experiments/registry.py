@@ -54,6 +54,7 @@ from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
 from repro.experiments.overload import run_overload
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig5 import run_fig5a, run_fig5b
+from repro.experiments.scale import run_scale, run_scale_smoke
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -73,6 +74,8 @@ EXPERIMENTS: Dict[str, Callable[..., FigureData]] = {
     "disc-noc": run_noc_ablation,
     "disc-faults": run_fault_recovery,
     "overload": run_overload,
+    "scale": run_scale,
+    "scale-smoke": run_scale_smoke,
 }
 
 #: which metric each figure plots

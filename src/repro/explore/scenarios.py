@@ -58,7 +58,7 @@ from repro.analysis.linearizability import (
 from repro.core import CCSynch, FlatCombining, HybComb, MPServer, OpTable, ShmServer
 from repro.explore.policy import SchedulePolicy
 from repro.faults import CrashThread, FaultInjector, FaultPlan
-from repro.machine import Machine, tile_gx
+from repro.machine import Machine, mesh_profile, tile_gx
 from repro.objects import LCRQ, EliminationStack, LockedStack, OneLockMSQueue, TreiberStack
 from repro.workload.driver import run_ops
 from repro.workload.openloop import (
@@ -93,6 +93,10 @@ class Scenario:
     #: sched_point tags this scenario zeroes out (documented protocol
     #: limitations, not bugs -- see module docs)
     no_preempt_tags: FrozenSet[str] = field(default_factory=frozenset)
+    #: mesh shape (width, height) for big-machine scenarios; ``None``
+    #: keeps the classic 6x6 tile_gx machine (and byte-identical replay
+    #: of every pre-existing bundle)
+    mesh: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -210,12 +214,32 @@ def _build_prim(scn: Scenario, machine: Machine, optable: OpTable):
     return prim, list(tids), faults
 
 
+def _client_ctxs(scn: Scenario, machine: Machine,
+                 tids: List[int]) -> List[Any]:
+    """Thread contexts for the client tids.
+
+    Default placement is the paper's thread-i-on-core-i.  Big-machine
+    scenarios (``scn.mesh``) instead stride the clients across the
+    whole mesh: packing every client into one corner of a 16x16 mesh
+    would leave all the NoC distances the explorer is supposed to
+    stress at a hop or two.  Striding by ``ncores // span`` is
+    collision-free (every product stays below ``ncores``) and keeps
+    clear of the server cores 0/1, which sit below the first stride.
+    """
+    if scn.mesh is None:
+        return [machine.thread(t) for t in tids]
+    ncores = machine.cfg.num_cores
+    stride = max(1, ncores // (max(tids) + 1))
+    return [machine.thread(t, core_id=(t * stride) % ncores) for t in tids]
+
+
 def run_scenario(scn: Scenario, policy: Optional[SchedulePolicy] = None,
                  *, max_events: int = 5_000_000) -> Outcome:
     """Execute one scenario under ``policy`` and return the verdict."""
     if policy is not None and scn.no_preempt_tags:
         policy = _TagFilterPolicy(policy, scn.no_preempt_tags)
-    machine = Machine(tile_gx())
+    machine = Machine(tile_gx() if scn.mesh is None else
+                      mesh_profile(*scn.mesh))
     machine.sim.max_events = max_events
     machine.sim.policy = policy
 
@@ -233,7 +257,7 @@ def run_scenario(scn: Scenario, policy: Optional[SchedulePolicy] = None,
         prim.start()
         prims.append(prim)
         tickets: List[int] = []
-        ctxs = [machine.thread(t) for t in tids]
+        ctxs = _client_ctxs(scn, machine, tids)
         spec: SequentialSpec = CounterSpec()
 
         if scn.admission == "none":
@@ -374,7 +398,7 @@ def run_scenario(scn: Scenario, policy: Optional[SchedulePolicy] = None,
                 popped.append(v)
                 yield from ctx.work(thinks[2 * k + 1] * think_unit)
 
-        ctxs = [machine.thread(t) for t in tids]
+        ctxs = _client_ctxs(scn, machine, tids)
         scripts = [
             (ctx, script(ctx, i,
                          [rng.randrange(0, 30) for _ in range(2 * scn.ops_each)]))
@@ -480,6 +504,16 @@ FULL_MATRIX: List[Scenario] = SMALL_MATRIX + [
              nthreads=4, ops_each=6, max_ops=3, admission="drop"),
     Scenario(sid="shm-server-cancel/counter@retry", algo="shm-server-cancel",
              obj="counter", nthreads=4, ops_each=6, admission="retry"),
+    # big-machine scenarios: the same oracles on a 16x16 (256-core)
+    # mesh with clients strided across the whole fabric, so forced UDN
+    # delays and lane reorders act on genuinely long NoC paths.  These
+    # are the schedule-exploration counterpart of the `scale` figure.
+    Scenario(sid="HybComb/counter@256", algo="HybComb", obj="counter",
+             nthreads=10, ops_each=4, max_ops=3, mesh=(16, 16)),
+    Scenario(sid="mp-server-ft/msqueue@256crash", algo="mp-server-ft",
+             obj="msqueue", nthreads=6, ops_each=4, fault="crash-server",
+             mesh=(16, 16),
+             no_preempt_tags=frozenset({"mp_server.poll"})),
 ]
 
 #: the seeded-bug scenario of the mutation self-test (never in the

@@ -10,8 +10,15 @@
   simulated threads (:class:`ThreadCtx` is their programming interface).
 """
 
-from repro.machine.config import MachineConfig, scc_like, tile_gx, x86_like
+from repro.machine.config import (
+    MachineConfig,
+    mesh_profile,
+    scc_like,
+    tile_gx,
+    x86_like,
+)
 from repro.machine.core import Core
 from repro.machine.machine import Machine, ThreadCtx
 
-__all__ = ["Core", "Machine", "MachineConfig", "ThreadCtx", "scc_like", "tile_gx", "x86_like"]
+__all__ = ["Core", "Machine", "MachineConfig", "ThreadCtx", "mesh_profile",
+           "scc_like", "tile_gx", "x86_like"]

@@ -29,7 +29,14 @@ import hashlib
 from dataclasses import asdict, dataclass, replace
 from typing import Tuple
 
-__all__ = ["MachineConfig", "scc_like", "tile_gx", "x86_like"]
+__all__ = ["MAX_MESH_DIM", "MachineConfig", "controller_nodes_for_mesh",
+           "mesh_profile", "scc_like", "tile_gx", "x86_like"]
+
+#: largest supported rectangular mesh edge (32x32 = 1024 cores).  The
+#: simulator's data structures stay O(1) per event well past this, but
+#: thread/process bookkeeping is still O(cores) per *run*, and the cap
+#: keeps a typo'd config from silently requesting a million cores.
+MAX_MESH_DIM = 32
 
 
 @dataclass
@@ -142,6 +149,12 @@ class MachineConfig:
     def validate(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
             raise ValueError("mesh dimensions must be positive")
+        if self.mesh_width > MAX_MESH_DIM or self.mesh_height > MAX_MESH_DIM:
+            raise ValueError(
+                f"mesh {self.mesh_width}x{self.mesh_height} exceeds the "
+                f"supported maximum of {MAX_MESH_DIM}x{MAX_MESH_DIM} "
+                f"({MAX_MESH_DIM * MAX_MESH_DIM} cores)"
+            )
         n = self.mesh_width * self.mesh_height
         for node in self.memory_controller_nodes:
             if not (0 <= node < n):
@@ -186,6 +199,46 @@ class MachineConfig:
 def tile_gx(**overrides) -> MachineConfig:
     """The calibrated TILE-Gx8036 profile (36 cores, 6x6 mesh, 1.2 GHz)."""
     cfg = MachineConfig(name="tile-gx8036")
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    return cfg
+
+
+def controller_nodes_for_mesh(width: int, height: int) -> Tuple[int, ...]:
+    """Memory-controller placement for a ``width x height`` mesh.
+
+    Controllers come in top/bottom pairs spread along the mesh edges
+    (one pair per 8 columns, minimum one), mirroring how the TILE-Gx
+    hangs its DDR controllers off the mesh boundary.  At 6x6 this
+    reproduces the calibrated :func:`tile_gx` placement exactly:
+    top ``(2, 0)`` and bottom ``(3, 5)``, i.e. nodes ``(2, 33)``.
+    """
+    npairs = max(1, width // 8)
+    top_xs = [((i + 1) * width) // (npairs + 2) for i in range(npairs)]
+    top = [x for x in top_xs]
+    bottom = [(height - 1) * width + (width - 1 - x) for x in top_xs]
+    return tuple(top + bottom)
+
+
+def mesh_profile(width: int, height: int, **overrides) -> MachineConfig:
+    """A TILE-Gx-calibrated profile scaled to a ``width x height`` mesh.
+
+    Cost constants are the :func:`tile_gx` calibration -- the point of
+    the scaling experiments is to grow the *machine*, not to re-guess
+    per-hop costs -- with memory controllers re-placed for the larger
+    edge (:func:`controller_nodes_for_mesh`).  At 6x6 this *is*
+    :func:`tile_gx`, bit-identical, so 36-core scaling points are
+    directly comparable with every fig3-family figure.  Meshes are
+    validated up to 32x32 (1024 cores).
+    """
+    if (width, height) == (6, 6):
+        return tile_gx(**overrides)
+    cfg = MachineConfig(
+        name=f"tile-mesh-{width}x{height}",
+        mesh_width=width,
+        mesh_height=height,
+        memory_controller_nodes=controller_nodes_for_mesh(width, height),
+    )
     if overrides:
         cfg = cfg.with_overrides(**overrides)
     return cfg

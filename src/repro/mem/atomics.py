@@ -178,7 +178,7 @@ class CacheAtomics:
                      cold=False, service=cfg.c_atomic_local)
             obs.emit("atomic.stall", core=cid, cycles=stalled,
                      line=line_no, start=t0)
-        entry.cond.notify_all()
+        entry.notify()
         return old
 
 

@@ -31,11 +31,12 @@ event per poll iteration.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.machine.config import MachineConfig
 from repro.machine.core import Core
 from repro.mem.memory import Allocator, BackingStore, WORD_MASK
+from repro.mem.sharers import ENTRY_BASE_BYTES, MeshGeometry, SparseSharerSet
 from repro.noc.topology import Mesh
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Condition, Resource
@@ -51,16 +52,44 @@ class LineState:
 
 
 class _Line:
-    """Directory entry for one cache line."""
+    """Directory entry for one cache line.
 
-    __slots__ = ("owner", "sharers", "res", "cond")
+    Entries are lazy in two ways: the entry itself materializes on
+    first touch and is reclaimed when an invalidation leaves it clean
+    and idle (see :meth:`CoherentMemory.invalidate_all`), and the
+    spinner-wakeup :class:`Condition` is only built when a core
+    actually waits on the line -- most lines never host a spinner.
+    """
 
-    def __init__(self, sim: Simulator, line_no: int):
+    __slots__ = ("owner", "sharers", "res", "line_no", "_cond")
+
+    def __init__(self, sim: Simulator, line_no: int, geo: MeshGeometry):
         self.owner: Optional[int] = None          # core id holding M
-        self.sharers: Set[int] = set()            # core ids holding S
+        self.sharers = SparseSharerSet(geo)       # core ids holding S
         self.res = Resource(sim, capacity=1)      # serializes transactions
-        # wakes spinners on writes (labelled for deadlock diagnostics)
-        self.cond = Condition(sim, label=f"invalidation of cache line {line_no}")
+        self.line_no = line_no
+        self._cond: Optional[Condition] = None
+
+    def wait_cond(self, sim: Simulator) -> Condition:
+        """The invalidation-wakeup condition (built on first wait)."""
+        cond = self._cond
+        if cond is None:
+            # labelled for deadlock diagnostics
+            cond = self._cond = Condition(
+                sim, label=f"invalidation of cache line {self.line_no}")
+        return cond
+
+    def notify(self) -> None:
+        """Wake any spinners; a no-op when no core ever waited here."""
+        cond = self._cond
+        if cond is not None:
+            cond.notify_all()
+
+    @property
+    def idle(self) -> bool:
+        """No transaction holds or awaits this entry (reclamation guard)."""
+        return (self.res.in_use == 0 and self.res.queue_length == 0
+                and (self._cond is None or self._cond.num_waiters == 0))
 
 
 class CoherentMemory:
@@ -74,6 +103,11 @@ class CoherentMemory:
         self.store_backing = BackingStore()
         self.allocator = Allocator(line_words=cfg.line_words)
         self._lines: Dict[int, _Line] = {}
+        # shared coordinate geometry for every line's sparse sharer set
+        self._geo = MeshGeometry(mesh.width, [c.node for c in cores],
+                                 mesh.num_nodes)
+        #: high-water mark of live directory entries (footprint metric)
+        self.peak_entries = 0
         # atomics executor is attached by the Machine (controller or cache mode)
         self.atomics = None
         #: number of mesh nodes, for line homing
@@ -120,7 +154,7 @@ class CoherentMemory:
     def _store_transition(self, entry: _Line, cid: int) -> str:
         if entry.owner is not None and entry.owner != cid:
             return "M->M"
-        if entry.sharers - {cid}:
+        if entry.sharers.others(cid):
             return "inv"
         if cid in entry.sharers:
             return "upgrade"
@@ -145,8 +179,10 @@ class CoherentMemory:
     def _line(self, line: int) -> _Line:
         entry = self._lines.get(line)
         if entry is None:
-            entry = _Line(self.sim, line)
+            entry = _Line(self.sim, line, self._geo)
             self._lines[line] = entry
+            if len(self._lines) > self.peak_entries:
+                self.peak_entries = len(self._lines)
         return entry
 
     # -- raw value access (zero-cost; for setup and invariant checks) ------
@@ -325,7 +361,7 @@ class CoherentMemory:
             core.busy += self.cfg.c_hit
             yield self.cfg.c_hit
             self.store_backing.write(addr, value)
-            self._line(line_no).cond.notify_all()  # wake same-core siblings
+            self.wake_line(line_no)  # wake same-core siblings
             return
         entry = self._lines.get(line_no)
         cid = core.cid
@@ -334,7 +370,7 @@ class CoherentMemory:
             core.busy += self.cfg.c_hit
             yield self.cfg.c_hit
             self.store_backing.write(addr, value)
-            entry.cond.notify_all()
+            entry.notify()
             return
         while True:
             pending = self._sb_event.get(cid)
@@ -353,7 +389,6 @@ class CoherentMemory:
             t0 = self.sim.now
             yield pending
             self._charge_stall_mem(core, self.sim.now - t0, line_no, "store_buffer")
-        entry = self._line(line_no)
         core.rmr += 1
         core.busy += self.cfg.c_hit
         yield self.cfg.c_hit
@@ -361,11 +396,18 @@ class CoherentMemory:
         done = Event(self.sim)
         self._sb_line[cid] = line_no
         self._sb_event[cid] = done
-        self.sim.spawn(self._store_txn(entry, line_no, cid, done),
+        self.sim.spawn(self._store_txn(line_no, cid, done),
                        name=f"store-txn-c{cid}-l{line_no}")
 
-    def _store_txn(self, entry: _Line, line_no: int, cid: int, done) -> Generator:
-        """Background ownership acquisition for a buffered store miss."""
+    def _store_txn(self, line_no: int, cid: int, done) -> Generator:
+        """Background ownership acquisition for a buffered store miss.
+
+        Looks the entry up at transaction start (not at issue time): a
+        remote atomic may have invalidated-to-clean and reclaimed the
+        entry in the issue->drain window, and mutating a reclaimed
+        orphan would lose the ownership this transaction installs.
+        """
+        entry = self._line(line_no)
         yield from entry.res.acquire()
         try:
             if entry.owner != cid:
@@ -383,7 +425,7 @@ class CoherentMemory:
         finally:
             entry.res.release()
         done.trigger()
-        entry.cond.notify_all()
+        entry.notify()
         self._check_swmr(entry)
 
     def drain_store_buffer(self, core: Core) -> Generator[Any, Any, None]:
@@ -403,9 +445,9 @@ class CoherentMemory:
             owner_node = self.cores[entry.owner].node
             hops = mesh.hops(node, home) + mesh.hops(home, owner_node) + mesh.hops(owner_node, node)
             return cfg.c_remote_base + cfg.noc_per_hop * hops
-        if entry.sharers - {cid}:
+        if entry.sharers.others(cid):
             # invalidate sharers: round trip to home + farthest sharer ack
-            far = max(mesh.hops(home, self.cores[s].node) for s in entry.sharers if s != cid)
+            far = entry.sharers.farthest_hop(home, exclude=cid)
             return cfg.c_remote_base + cfg.noc_per_hop * (2 * mesh.hops(node, home) + far)
         if cid in entry.sharers:
             # upgrade S -> M: permission round trip to home only
@@ -437,7 +479,7 @@ class CoherentMemory:
         while not pred(value):
             entry = self._line(self.line_of(addr))
             t0 = self.sim.now
-            yield from entry.cond.wait()
+            yield from entry.wait_cond(self.sim).wait()
             core.wait += self.sim.now - t0
             value = yield from self.load(core, addr)
         return value
@@ -477,7 +519,16 @@ class CoherentMemory:
 
     # -- hooks used by the atomics executor ---------------------------------
     def invalidate_all(self, line_no: int) -> None:
-        """Drop every cached copy of a line (atomic executed remotely)."""
+        """Drop every cached copy of a line (atomic executed remotely).
+
+        Invalidate-to-clean is also the reclamation point of the lazy
+        directory: a clean entry with no transaction holding or queued
+        on its resource and no spinner registered is indistinguishable
+        from an absent one (a later touch rematerializes the identical
+        empty state), so it is dropped to keep the live directory
+        proportional to the *hot* working set, not to every line ever
+        touched.
+        """
         entry = self._lines.get(line_no)
         if entry is not None:
             obs = self.sim.obs
@@ -485,12 +536,14 @@ class CoherentMemory:
                 self._emit_invals(obs, entry, line_no, None)
             entry.owner = None
             entry.sharers.clear()
-            entry.cond.notify_all()
+            entry.notify()  # empties the waiter list before the idle check
+            if entry.idle:
+                del self._lines[line_no]
 
     def wake_line(self, line_no: int) -> None:
         entry = self._lines.get(line_no)
         if entry is not None:
-            entry.cond.notify_all()
+            entry.notify()
 
     def line_resource(self, line_no: int) -> Resource:
         return self._line(line_no).res
@@ -505,6 +558,30 @@ class CoherentMemory:
         if cid in entry.sharers:
             return LineState.S
         return None
+
+    # -- footprint accounting ------------------------------------------------
+    def directory_stats(self) -> Dict[str, int]:
+        """Model-level directory bookkeeping sizes (deterministic).
+
+        Byte figures use the nominal cost model of
+        :mod:`repro.mem.sharers` rather than ``sys.getsizeof`` so the
+        footprint benchmarks gate identically across Python versions.
+        """
+        entries = len(self._lines)
+        sharer_bytes = 0
+        max_line_bytes = 0
+        for entry in self._lines.values():
+            b = entry.sharers.nominal_bytes()
+            sharer_bytes += b
+            line_bytes = ENTRY_BASE_BYTES + b
+            if line_bytes > max_line_bytes:
+                max_line_bytes = line_bytes
+        return {
+            "entries": entries,
+            "peak_entries": self.peak_entries,
+            "nominal_bytes": entries * ENTRY_BASE_BYTES + sharer_bytes,
+            "max_line_bytes": max_line_bytes,
+        }
 
     # -- invariants ----------------------------------------------------------
     def _check_swmr(self, entry: _Line) -> None:

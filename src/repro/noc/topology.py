@@ -26,7 +26,7 @@ __all__ = ["Mesh"]
 class Mesh:
     """A ``width x height`` mesh of nodes with XY routing."""
 
-    __slots__ = ("width", "height", "base", "per_hop", "per_word", "_hops")
+    __slots__ = ("width", "height", "base", "per_hop", "per_word", "_x", "_y")
 
     def __init__(self, width: int, height: int, *, base: int = 4, per_hop: int = 1, per_word: int = 1):
         if width < 1 or height < 1:
@@ -36,16 +36,13 @@ class Mesh:
         self.base = base
         self.per_hop = per_hop
         self.per_word = per_word
-        # precomputed Manhattan distances: hops() sits on the hot path of
-        # every memory/atomic/message latency computation
+        # hops() sits on the hot path of every memory/atomic/message
+        # latency computation, but a precomputed N x N distance table is
+        # O(n^2) memory -- 1 M entries at 1024 nodes.  Per-node coordinate
+        # arrays keep the lookup allocation-free and O(n) total.
         n = width * height
-        self._hops = [
-            [
-                abs(a % width - b % width) + abs(a // width - b // width)
-                for b in range(n)
-            ]
-            for a in range(n)
-        ]
+        self._x = [a % width for a in range(n)]
+        self._y = [a // width for a in range(n)]
 
     @property
     def num_nodes(self) -> int:
@@ -62,11 +59,12 @@ class Mesh:
         return y * self.width + x
 
     def hops(self, src: int, dst: int) -> int:
-        """Manhattan distance between two nodes (precomputed)."""
+        """Manhattan distance between two nodes (analytic XY)."""
         if src < 0 or dst < 0:
             raise ValueError(f"node ids must be non-negative: {src}, {dst}")
         try:
-            return self._hops[src][dst]
+            x, y = self._x, self._y
+            return abs(x[src] - x[dst]) + abs(y[src] - y[dst])
         except IndexError:
             self._check(src)
             self._check(dst)

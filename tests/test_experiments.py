@@ -19,7 +19,7 @@ def test_registry_is_complete():
         "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
         "fig5a", "fig5b",
         "disc-x86", "disc-scc", "disc-oversub", "disc-backpressure", "disc-noc",
-        "disc-faults", "overload",
+        "disc-faults", "overload", "scale", "scale-smoke",
     }
 
 

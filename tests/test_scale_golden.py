@@ -1,0 +1,116 @@
+"""Golden bit-identity proofs for the big-machine (sparse-directory)
+refactor.
+
+The sparse sharer sets, lazy directory entries and analytic mesh
+routing introduced for 1024-core machines must not move ONE simulated
+number on the 6x6 TILE-Gx.  The fingerprints below were recorded on the
+dense reference implementation (plain ``Set[int]`` sharers, eager
+``_Line`` entries, precomputed O(n^2) hop table) immediately before the
+refactor; the suite re-runs the same mini-figures on the sparse engine
+and requires byte-identical fingerprints -- with observability off,
+with obs + time-series sampling on, and across every workload family
+whose timing touches the refactored paths:
+
+* counter delegation (fig3 family): server RMRs, UDN, combiner spinning;
+* variable-length CS (fig4c family): store-buffer overlap, prefetch;
+* queue/stack objects (fig5 family): CAS retries, controller atomics;
+* spin locks (TTAS/MCS): the farthest-sharer invalidation path and
+  invalidation-wakeup conditions, with many sharers on one line;
+* x86-like profile: CacheAtomics' sharers.clear() ownership path;
+* open-loop overload point: admission + timed dispatch seams.
+
+The pre-v3 explore replay fixture (tests/test_engine_v3.py) rides along
+as the schedule-level proof: traces recorded on the dense engine must
+replay bit-identically on the sparse one.
+"""
+
+from __future__ import annotations
+
+import repro.obs as obs_mod
+from repro.analysis.series import FigureData
+from repro.experiments.overload import run_overload_point
+from repro.machine.config import x86_like
+from repro.machine.machine import Machine
+from repro.workload.driver import WorkloadSpec, run_workload
+from repro.workload.scenarios import (
+    run_counter_benchmark,
+    run_cs_length_benchmark,
+    run_queue_benchmark,
+    run_stack_benchmark,
+)
+
+#: small windows: every family still crosses its interesting contention
+#: regime, but the whole suite stays in seconds
+_SPEC = WorkloadSpec(warmup_cycles=10_000, measure_cycles=40_000)
+
+#: FigureData.fingerprint() of _golden_mini() recorded on the dense
+#: directory implementation (pre-sparse-refactor).  Must never change.
+GOLDEN_MINI_FINGERPRINT = (
+    "7c56ff67aeb354b9edeb127114ba9262dd320dd517ee7df4144b262b9ad5a665"
+)
+
+#: same suite under an observability session with time-series sampling
+#: on: obs adds deterministic per-op register extras to the results, so
+#: this pin covers the event-emission paths (cache.inval per sharer,
+#: cache.miss transitions) as well
+GOLDEN_MINI_OBS_FINGERPRINT = (
+    "8a5827411112a6d6bb8282acfd12acf92725e9c45bb9b67619da9f418d7c3af3"
+)
+
+
+def _lock_counter_run(lock_cls, num_threads: int):
+    """A contended spin-lock counter (not part of the figure registry).
+
+    TTAS puts every waiter's sharer bit on one flag line and bounces it
+    on each release -- the heaviest user of the farthest-sharer-hop and
+    invalidation-wakeup paths the refactor replaces.  MCS adds the
+    swap/CAS handoff and per-node local spinning.
+    """
+    machine = Machine()
+    lock = lock_cls(machine)
+    addr = machine.mem.alloc(1, isolated=True)
+    ctxs = [machine.thread(t) for t in range(num_threads)]
+
+    def make_op(ctx):
+        def op(k):
+            yield from lock.acquire(ctx)
+            v = yield from ctx.load(addr)
+            yield from ctx.store(addr, v + 1)
+            yield from lock.release(ctx)
+        return op
+
+    return run_workload(machine, ctxs, make_op, _SPEC, name=lock_cls.name)
+
+
+def _golden_mini() -> FigureData:
+    from repro.core.locks import MCSLock, TTASLock
+
+    fig = FigureData("scale-golden", "dense-vs-sparse mini suite", "x", "y")
+    for approach, t in (("mp-server", 12), ("HybComb", 12),
+                        ("shm-server", 8), ("CC-Synch", 8)):
+        fig.add_point(approach, t,
+                      run_counter_benchmark(approach, t, spec=_SPEC))
+    fig.add_point("HybComb-cs16", 8,
+                  run_cs_length_benchmark("HybComb", 8, 16, spec=_SPEC))
+    fig.add_point("mp-server-1-q", 8,
+                  run_queue_benchmark("mp-server-1", 8, spec=_SPEC))
+    fig.add_point("LCRQ", 8, run_queue_benchmark("LCRQ", 8, spec=_SPEC))
+    fig.add_point("Treiber", 8, run_stack_benchmark("Treiber", 8, spec=_SPEC))
+    fig.add_point("CC-Synch-x86", 8,
+                  run_counter_benchmark("CC-Synch", 8, spec=_SPEC,
+                                        cfg=x86_like()))
+    fig.add_point("ttas", 10, _lock_counter_run(TTASLock, 10))
+    fig.add_point("mcs", 10, _lock_counter_run(MCSLock, 10))
+    fig.add_point("overload-drop", 1,
+                  run_overload_point("mp-server", 60.0, 1.5, "drop"))
+    return fig
+
+
+def test_dense_golden_fingerprint_obs_off():
+    assert _golden_mini().fingerprint() == GOLDEN_MINI_FINGERPRINT
+
+
+def test_dense_golden_fingerprint_obs_and_sampling_on():
+    with obs_mod.observed(timeseries=True, sample_every=512):
+        fig = _golden_mini()
+    assert fig.fingerprint() == GOLDEN_MINI_OBS_FINGERPRINT

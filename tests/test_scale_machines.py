@@ -1,0 +1,163 @@
+"""Tests for big-machine support: mesh profiles to 32x32, directory
+footprint scaling, lazy-entry reclamation, and the 256-core explore
+scenarios."""
+
+import pytest
+
+from repro.machine import Machine, mesh_profile, tile_gx
+from repro.machine.config import (MAX_MESH_DIM, MachineConfig,
+                                  controller_nodes_for_mesh)
+from repro.mem.sharers import ENTRY_BASE_BYTES
+
+
+# -- mesh profiles ---------------------------------------------------------
+
+def test_mesh_profile_6x6_is_tile_gx():
+    """At the paper's mesh size the profile IS tile_gx: same name, same
+    fingerprint, so 36-core scale points line up with every fig3
+    figure (and with the committed BENCH baselines)."""
+    assert mesh_profile(6, 6).fingerprint() == tile_gx().fingerprint()
+    assert mesh_profile(6, 6).name == tile_gx().name
+
+
+def test_mesh_profile_carries_calibration_constants():
+    big = mesh_profile(32, 32)
+    small = tile_gx()
+    assert big.num_cores == 1024
+    assert (big.mesh_width, big.mesh_height) == (32, 32)
+    # identical per-event cost constants: only the geometry scales
+    for f in ("clock_mhz", "c_hit", "c_remote_base", "noc_per_hop",
+              "udn_send_base", "c_atomic_service"):
+        assert getattr(big, f) == getattr(small, f), f
+
+
+def test_controller_placement_reproduces_tile_gx_at_6x6():
+    assert tuple(sorted(controller_nodes_for_mesh(6, 6))) == \
+        tuple(sorted(tile_gx().memory_controller_nodes))
+
+
+@pytest.mark.parametrize("w,h", [(8, 8), (16, 16), (32, 32), (8, 3)])
+def test_controller_placement_valid_and_on_edges(w, h):
+    nodes = controller_nodes_for_mesh(w, h)
+    assert len(nodes) == len(set(nodes))
+    for n in nodes:
+        assert 0 <= n < w * h
+        row = n // w
+        assert row in (0, h - 1)          # top or bottom edge
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_big_meshes_validate_and_build(n):
+    side = int(n ** 0.5)
+    cfg = mesh_profile(side, side)
+    cfg.validate()
+    m = Machine(cfg)
+    assert len(m.cores) == n
+
+
+def test_meshes_beyond_32x32_are_rejected():
+    with pytest.raises(ValueError, match="32x32"):
+        mesh_profile(33, 33).validate()
+    with pytest.raises(ValueError, match="32x32"):
+        mesh_profile(MAX_MESH_DIM + 1, 4).validate()
+
+
+def test_mesh_profile_overrides_pass_through():
+    cfg = mesh_profile(8, 8, udn_send_base=9)
+    assert isinstance(cfg, MachineConfig)
+    assert cfg.udn_send_base == 9
+
+
+# -- directory footprint scaling -------------------------------------------
+
+def _run_counter(cfg, nthreads, iters=40):
+    """All threads hammer one counter line via controller atomics."""
+    machine = Machine(cfg)
+    addr = machine.mem.alloc(1, isolated=True)
+    stride = max(1, cfg.num_cores // nthreads)
+
+    def prog(ctx):
+        for _ in range(iters):
+            yield from ctx.faa(addr, 1)
+            v = yield from ctx.load(addr)
+            assert v >= 0
+
+    for t in range(nthreads):
+        ctx = machine.thread(t, core_id=(t * stride) % cfg.num_cores)
+        machine.spawn(ctx, prog(ctx))
+    machine.run()
+    return machine
+
+
+def test_directory_footprint_tracks_working_set_not_core_count():
+    """The same contended-counter workload on 36 vs 1024 cores: the
+    directory's bookkeeping must track the hot working set (one line +
+    participants), nowhere near the 28x the core count grew by."""
+    small = _run_counter(tile_gx(), nthreads=8)
+    big = _run_counter(mesh_profile(32, 32), nthreads=8)
+    sb = small.mem.directory_stats()
+    bb = big.mem.directory_stats()
+    assert bb["entries"] == sb["entries"]
+    assert bb["nominal_bytes"] <= 2 * sb["nominal_bytes"]
+
+
+def test_directory_stats_shape():
+    m = _run_counter(tile_gx(), nthreads=4)
+    st = m.mem.directory_stats()
+    assert set(st) == {"entries", "peak_entries", "nominal_bytes",
+                       "max_line_bytes"}
+    assert st["peak_entries"] >= st["entries"] >= 1
+    assert st["max_line_bytes"] >= ENTRY_BASE_BYTES
+    assert st["nominal_bytes"] >= st["entries"] * ENTRY_BASE_BYTES
+
+
+def test_invalidate_to_clean_reclaims_entries():
+    """Controller atomics invalidate every cached copy; a line whose
+    entry ends up idle and empty must be dropped from the directory
+    (this is what keeps long runs from accreting dead entries)."""
+    machine = Machine(tile_gx())
+    addrs = [machine.mem.alloc(1, isolated=True) for _ in range(6)]
+
+    def prog(ctx):
+        for a in addrs:
+            yield from ctx.load(a)          # materializes the entry
+        for a in addrs:
+            yield from ctx.faa(a, 1)        # controller rmw invalidates
+
+    ctx = machine.thread(0)
+    machine.spawn(ctx, prog(ctx))
+    machine.run()
+    st = machine.mem.directory_stats()
+    assert st["peak_entries"] >= len(addrs)
+    assert st["entries"] < st["peak_entries"]
+    # the values survive reclamation -- only bookkeeping is dropped
+    assert [machine.mem.peek(a) for a in addrs] == [1] * len(addrs)
+
+
+# -- 256-core explore scenarios --------------------------------------------
+
+def test_explore_256core_scenarios_pass_under_random_walk():
+    from repro.explore.policy import RandomWalkPolicy
+    from repro.explore.scenarios import run_scenario, scenario_by_id
+
+    for sid in ("HybComb/counter@256", "mp-server-ft/msqueue@256crash"):
+        scn = scenario_by_id(sid)
+        assert scn.mesh == (16, 16)
+        out = run_scenario(scn)
+        assert out.ok, f"{sid} default schedule: {out.kind}: {out.detail}"
+        for seed in (1, 2):
+            out = run_scenario(scn, RandomWalkPolicy(seed=seed))
+            assert out.ok, f"{sid} seed {seed}: {out.kind}: {out.detail}"
+
+
+def test_explore_replay_determinism_at_256():
+    """Same scenario + same policy decisions = bit-identical history,
+    on the big mesh too (what makes 256-core repro bundles replayable)."""
+    from repro.explore.policy import RandomWalkPolicy, ReplayPolicy
+    from repro.explore.scenarios import run_scenario, scenario_by_id
+
+    scn = scenario_by_id("HybComb/counter@256")
+    first = run_scenario(scn, RandomWalkPolicy(seed=7))
+    again = run_scenario(scn, ReplayPolicy(first.trace))
+    assert again.history == first.history
+    assert again.events == first.events
